@@ -1,0 +1,76 @@
+"""Ablation — where does compression stop paying off?
+
+The paper evaluates at a 4 GB/s effective all-to-all.  Eq. 2 predicts a
+*crossover*: on a fast enough network, the compression/decompression time
+exceeds the bandwidth saved and the speedup falls below 1.  This ablation
+sweeps the bandwidth axis and locates that crossover for the hybrid
+compressor (with the paper's A100 throughput profile), and verifies the
+slow-network limit approaches the raw compression ratio.
+
+Shape targets: speedup decreases monotonically with bandwidth; it exceeds
+1 at the paper's 4 GB/s; a crossover below 1 exists between 16 and
+256 GB/s for the vector-LZ profile (1/Tc + 1/Td ≈ 1/33.8 GB/s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adaptive import PAPER_A100_PROFILE
+from repro.compression import communication_speedup, get_compressor
+from repro.utils import GB, format_table
+
+from conftest import write_result
+
+BANDWIDTHS_GB = (0.5, 1, 4, 16, 64, 256)
+ERROR_BOUND = 0.02
+
+
+def test_ablation_bandwidth_crossover(kaggle_world, benchmark):
+    codec = get_compressor("vector_lz")
+    original = sum(b.nbytes for b in kaggle_world.samples.values())
+    compressed = sum(
+        len(codec.compress(b, ERROR_BOUND)) for b in kaggle_world.samples.values()
+    )
+    ratio = original / compressed
+    throughput = PAPER_A100_PROFILE.for_codec("vector_lz")
+
+    speedups = {
+        bw: communication_speedup(
+            ratio, bw * GB, throughput.compress, throughput.decompress
+        )
+        for bw in BANDWIDTHS_GB
+    }
+    rows = [
+        (f"{bw} GB/s", f"{s:.2f}x", "wins" if s > 1 else "loses")
+        for bw, s in speedups.items()
+    ]
+    text = format_table(
+        ["all-to-all bandwidth", "Eq.2 speedup", "verdict"],
+        rows,
+        title=(
+            f"Ablation - bandwidth crossover for vector-LZ "
+            f"(CR {ratio:.1f}x, Tc {throughput.compress / GB:.1f} GB/s, "
+            f"Td {throughput.decompress / GB:.1f} GB/s)"
+        ),
+    )
+    write_result("ablation_bandwidth_crossover", text)
+
+    series = [speedups[bw] for bw in BANDWIDTHS_GB]
+    # Monotone: faster networks benefit less from compression.
+    assert all(a >= b for a, b in zip(series, series[1:]))
+    # At the paper's 4 GB/s setting, compression clearly wins.
+    assert speedups[4] > 3.0
+    # The crossover exists on fast fabrics (NVLink-class).
+    assert speedups[256] < 1.0 < speedups[16]
+    # Slow-network limit approaches the raw ratio.
+    assert speedups[0.5] > 0.8 * ratio * (
+        1 / (1 + 0.5 * GB * (1 / throughput.compress + 1 / throughput.decompress) * ratio)
+    )
+
+    benchmark(
+        lambda: [
+            communication_speedup(ratio, bw * GB, throughput.compress, throughput.decompress)
+            for bw in BANDWIDTHS_GB
+        ]
+    )

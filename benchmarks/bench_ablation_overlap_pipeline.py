@@ -1,0 +1,79 @@
+"""Ablation — overlapping compression with transmission (paper future work).
+
+The paper's conclusion proposes integrating (de)compression with the
+communication library (NCCL) so that compression of chunk ``i+1`` overlaps
+the transmission of chunk ``i``.  This ablation prices that design with
+the existing cost models across network bandwidths: the overlap win peaks
+where per-chunk compression time balances per-chunk wire time, and
+vanishes when either stage dominates.
+
+Shape targets: the overlapped pipeline never loses; its speedup peaks
+above 1.3x near the balance point; the sequential layout approaches
+``compress + wire`` while overlap approaches ``max(compress, wire)``.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive import AdaptiveController, OfflineAnalyzer
+from repro.train import CompressionPipeline
+from repro.utils import GB, MB, format_table
+
+from conftest import write_result
+
+N_CHUNKS = 32
+CHUNK_BYTES = int(1 * MB)
+COMPRESSION_RATIO = 18.0  # typical hybrid CR on the Kaggle world
+BANDWIDTHS_GB = (16.0, 4.0, 1.0, 0.25)
+
+
+def test_ablation_overlap_pipeline(kaggle_world, benchmark):
+    plan = OfflineAnalyzer().analyze(kaggle_world.samples)
+    pipeline = CompressionPipeline(AdaptiveController(plan), fused_kernels=False)
+    chunks = [("vector_lz", CHUNK_BYTES)] * N_CHUNKS
+
+    rows = []
+    speedups = {}
+    for bandwidth_gb in BANDWIDTHS_GB:
+        wire_per_chunk = CHUNK_BYTES / COMPRESSION_RATIO / (bandwidth_gb * GB)
+        wire_times = [wire_per_chunk] * N_CHUNKS
+        sequential = pipeline.sequential_exchange_seconds(chunks, wire_times)
+        overlapped = pipeline.pipelined_exchange_seconds(chunks, wire_times)
+        speedups[bandwidth_gb] = sequential / overlapped
+        rows.append(
+            (
+                f"{bandwidth_gb} GB/s",
+                f"{sequential * 1e6:.1f} us",
+                f"{overlapped * 1e6:.1f} us",
+                f"{sequential / overlapped:.2f}x",
+            )
+        )
+    text = format_table(
+        ["wire bandwidth", "compress-then-send", "overlapped pipeline", "speedup"],
+        rows,
+        title=(
+            "Ablation - NCCL-style compression/transmission overlap "
+            f"({N_CHUNKS} chunks x {CHUNK_BYTES // MB} MiB, CR {COMPRESSION_RATIO})"
+        ),
+    )
+    write_result("ablation_overlap_pipeline", text)
+
+    wire_total = N_CHUNKS * CHUNK_BYTES / COMPRESSION_RATIO / (1.0 * GB)
+    # Overlap never loses, at any bandwidth.
+    assert all(s >= 1.0 - 1e-12 for s in speedups.values())
+    # The win is material somewhere in the sweep (near compress == wire)...
+    assert max(speedups.values()) > 1.3
+    # ...and fades toward either extreme.
+    extremes = (speedups[BANDWIDTHS_GB[0]], speedups[BANDWIDTHS_GB[-1]])
+    assert min(extremes) < max(speedups.values())
+    # Overlapped makespan is bounded below by the wire stage alone.
+    slow_seq = pipeline.sequential_exchange_seconds(
+        chunks, [CHUNK_BYTES / COMPRESSION_RATIO / (0.25 * GB)] * N_CHUNKS
+    )
+    slow_overlap = pipeline.pipelined_exchange_seconds(
+        chunks, [CHUNK_BYTES / COMPRESSION_RATIO / (0.25 * GB)] * N_CHUNKS
+    )
+    assert slow_overlap >= N_CHUNKS * CHUNK_BYTES / COMPRESSION_RATIO / (0.25 * GB)
+    assert slow_overlap <= slow_seq
+
+    wire_times = [CHUNK_BYTES / COMPRESSION_RATIO / (4 * GB)] * N_CHUNKS
+    benchmark(lambda: pipeline.pipelined_exchange_seconds(chunks, wire_times))

@@ -1,0 +1,103 @@
+"""Ablation — per-table encoder selection policy (Algorithm 2's value).
+
+The hybrid compressor's defining choice is *which* lossless encoder each
+table gets.  This ablation compares four policies on the end-to-end
+compressed-transfer time (Eq.-2 aggregate over all tables):
+
+* ``always_lz`` / ``always_huffman`` — single-encoder designs;
+* ``best_ratio`` — pick the smaller payload per table (the "auto" hybrid);
+* ``eq2_selected`` — Algorithm 2: pick per table by modelled speedup.
+
+Shape targets: Algorithm 2 is optimal on its own objective (it can never
+lose to the other policies on aggregate transfer time), and both per-table
+policies beat at least one of the single-encoder designs — the reason the
+paper builds a *hybrid* instead of shipping vector-LZ alone.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive import PAPER_A100_PROFILE
+from repro.compression import EntropyCompressor, VectorLZCompressor
+from repro.utils import GB, format_table
+
+from conftest import write_result
+
+ERROR_BOUND = 0.02
+BANDWIDTH = 4 * GB
+
+
+def _transfer_seconds(name: str, payload_len: int, raw_bytes: int) -> float:
+    throughput = PAPER_A100_PROFILE.for_codec(name)
+    return (
+        payload_len / BANDWIDTH
+        + raw_bytes / throughput.compress
+        + raw_bytes / throughput.decompress
+    )
+
+
+def test_ablation_selection_policy(kaggle_world, benchmark):
+    lz = VectorLZCompressor()
+    entropy = EntropyCompressor()
+    per_table = {}
+    for table_id, batch in kaggle_world.samples.items():
+        lz_payload = lz.compress(batch, ERROR_BOUND)
+        huff_payload = entropy.compress(batch, ERROR_BOUND)
+        per_table[table_id] = {
+            "raw": batch.nbytes,
+            "vector_lz": len(lz_payload),
+            "entropy": len(huff_payload),
+        }
+
+    raw_total = sum(t["raw"] for t in per_table.values())
+
+    def policy_time(select) -> tuple[float, float]:
+        """(total transfer seconds, aggregate ratio) for a per-table policy."""
+        seconds = 0.0
+        compressed = 0
+        for t in per_table.values():
+            choice = select(t)
+            seconds += _transfer_seconds(choice, t[choice], t["raw"])
+            compressed += t[choice]
+        return seconds, raw_total / compressed
+
+    policies = {
+        "always_lz": lambda t: "vector_lz",
+        "always_huffman": lambda t: "entropy",
+        "best_ratio": lambda t: min(("vector_lz", "entropy"), key=lambda c: t[c]),
+        "eq2_selected": lambda t: min(
+            ("vector_lz", "entropy"),
+            key=lambda c: _transfer_seconds(c, t[c], t["raw"]),
+        ),
+    }
+    results = {name: policy_time(select) for name, select in policies.items()}
+    baseline_seconds = raw_total / BANDWIDTH
+
+    rows = [
+        (
+            name,
+            f"{ratio:.2f}x",
+            f"{seconds * 1e3:.3f} ms",
+            f"{baseline_seconds / seconds:.2f}x",
+        )
+        for name, (seconds, ratio) in results.items()
+    ]
+    text = format_table(
+        ["policy", "aggregate CR", "transfer time", "speedup vs uncompressed"],
+        rows,
+        title="Ablation - per-table encoder selection policy (Kaggle world, Eq.2 costs)",
+    )
+    write_result("ablation_selection_policy", text)
+
+    eq2_seconds = results["eq2_selected"][0]
+    # Algorithm 2 is optimal for its objective.
+    for name, (seconds, _) in results.items():
+        assert eq2_seconds <= seconds + 1e-12, name
+    # A per-table policy beats at least one single-encoder design
+    # (the motivation for hybridizing).
+    single_best = min(results["always_lz"][0], results["always_huffman"][0])
+    assert eq2_seconds <= single_best
+    # best_ratio achieves the best aggregate CR of all policies.
+    assert results["best_ratio"][1] >= max(r[1] for r in results.values()) - 1e-12
+
+    batch = kaggle_world.samples[0]
+    benchmark.pedantic(lambda: lz.compress(batch, ERROR_BOUND), rounds=10, iterations=1)

@@ -1,0 +1,54 @@
+"""Fig. 6 — EMB table sizes in Criteo Kaggle and Terabyte datasets.
+
+The paper plots the per-table vocabulary sizes to motivate table-wise
+error-bound configuration: sizes span from fewer than ten rows to over a
+million.  This bench regenerates the size series from the published
+cardinalities carried in the dataset specs.
+
+Shape targets: both datasets span >5 orders of magnitude; Terabyte's
+largest tables exceed Kaggle's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import CRITEO_KAGGLE, CRITEO_TERABYTE, scaled_spec
+from repro.utils import format_table
+
+from conftest import write_result
+
+
+def test_fig06_table_sizes(benchmark):
+    kaggle = CRITEO_KAGGLE.cardinalities()
+    terabyte = CRITEO_TERABYTE.cardinalities()
+
+    rows = [
+        (t, int(kaggle[t]), int(terabyte[t])) for t in range(len(kaggle))
+    ]
+    summary = [
+        ("min", int(kaggle.min()), int(terabyte.min())),
+        ("max", int(kaggle.max()), int(terabyte.max())),
+        ("spread (orders of magnitude)",
+         f"{np.log10(kaggle.max() / kaggle.min()):.1f}",
+         f"{np.log10(terabyte.max() / terabyte.min()):.1f}"),
+    ]
+    text = "\n\n".join(
+        [
+            format_table(
+                ["EMB table", "Kaggle size", "Terabyte size"],
+                rows,
+                title="Fig. 6 - embedding-table sizes (published vocabulary sizes)",
+            ),
+            format_table(["statistic", "Kaggle", "Terabyte"], summary),
+        ]
+    )
+    write_result("fig06_table_sizes", text)
+
+    assert kaggle.min() < 10 and kaggle.max() > 1e6
+    assert terabyte.max() > kaggle.max()
+    assert np.log10(kaggle.max() / kaggle.min()) > 5
+    assert np.log10(terabyte.max() / terabyte.min()) > 5
+
+    # Timed kernel: the log-space scaling used for simulation worlds.
+    benchmark(lambda: scaled_spec(CRITEO_TERABYTE, max_cardinality=4000))

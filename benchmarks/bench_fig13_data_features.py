@@ -1,0 +1,92 @@
+"""Fig. 13 — data features of two representative EMB tables.
+
+The paper contrasts two Terabyte tables: "EMB Table 1" has a highly
+concentrated Gaussian value histogram (Huffman-friendly), while "EMB Table
+5" has broadly dispersed values but few unique vectors, giving vector-LZ a
+very high match rate.  This bench finds the analogous pair in the synthetic
+Terabyte world, prints their histograms and matched-pattern counts, and
+verifies the codec contrast.
+
+Shape targets: the entropy-friendly table compresses better under Huffman
+than vector-LZ; the match-friendly table does the opposite, with a large
+LZ match count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import gaussianity_score
+from repro.compression import EntropyCompressor, VectorLZCompressor
+from repro.compression.quantizer import quantize_batch
+from repro.compression.vector_lz import find_vector_matches
+from repro.utils import format_table
+
+from conftest import write_result
+
+ERROR_BOUND = 0.02
+
+
+def _table_stats(batch: np.ndarray) -> dict[str, float]:
+    lz_payload = VectorLZCompressor().compress(batch, ERROR_BOUND)
+    huff_payload = EntropyCompressor().compress(batch, ERROR_BOUND)
+    quantized = quantize_batch(batch, ERROR_BOUND)
+    is_match, _ = find_vector_matches(quantized.codes, window=255)
+    return {
+        "lz_ratio": batch.nbytes / len(lz_payload),
+        "huffman_ratio": batch.nbytes / len(huff_payload),
+        "matches": int(is_match.sum()),
+        "rows": batch.shape[0],
+        "gaussianity": gaussianity_score(batch),
+        "spread": float(np.ptp(batch)),
+    }
+
+
+def _histogram_line(batch: np.ndarray, bins: int = 13) -> str:
+    counts, _ = np.histogram(batch.ravel(), bins=bins)
+    peak = counts.max()
+    return "".join(" .:-=+*#%@"[min(int(9 * c / peak), 9)] for c in counts)
+
+
+def test_fig13_data_features(terabyte_world, benchmark):
+    stats = {t: _table_stats(b) for t, b in terabyte_world.samples.items()}
+    # "EMB Table 1" analogue: the best Huffman-vs-LZ advantage.
+    entropy_table = max(stats, key=lambda t: stats[t]["huffman_ratio"] / stats[t]["lz_ratio"])
+    # "EMB Table 5" analogue: the best LZ advantage among broad tables.
+    lz_table = max(stats, key=lambda t: stats[t]["lz_ratio"] / stats[t]["huffman_ratio"])
+
+    rows = []
+    for label, table_id in (
+        (f"entropy-friendly (table {entropy_table})", entropy_table),
+        (f"match-friendly (table {lz_table})", lz_table),
+    ):
+        s = stats[table_id]
+        rows.append(
+            (
+                label,
+                f"{s['huffman_ratio']:.2f}x",
+                f"{s['lz_ratio']:.2f}x",
+                f"{s['matches']}/{s['rows']}",
+                f"{s['gaussianity']:.2f}",
+                _histogram_line(terabyte_world.samples[table_id]),
+            )
+        )
+    text = format_table(
+        ["table", "Huffman CR", "vector-LZ CR", "matched patterns", "kurtosis", "value histogram"],
+        rows,
+        title="Fig. 13 - data features of two representative EMB tables (Terabyte world)",
+    )
+    write_result("fig13_data_features", text)
+
+    e, l = stats[entropy_table], stats[lz_table]
+    # The contrast the paper draws:
+    assert e["huffman_ratio"] > e["lz_ratio"], "entropy table must favour Huffman"
+    assert l["lz_ratio"] > 1.5 * l["huffman_ratio"], "match table must favour LZ"
+    # ...driven by match counts:
+    assert l["matches"] > 0.5 * l["rows"]
+    assert e["matches"] < 0.5 * e["rows"]
+    # ...and the entropy-friendly table is the more concentrated one.
+    assert e["gaussianity"] > l["gaussianity"]
+
+    batch = terabyte_world.samples[entropy_table]
+    benchmark.pedantic(lambda: _table_stats(batch), rounds=3, iterations=1)

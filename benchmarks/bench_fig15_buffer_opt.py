@@ -1,0 +1,81 @@
+"""Fig. 15 — buffer optimization across EMB vector sizes and chunk counts.
+
+The paper splits each iteration's EMB vectors into RANK-many chunks and
+compares per-chunk kernels + memcpys ("chunked") against its single fused
+kernel that writes directly into the send buffer ("single_comp"),
+reporting speedups growing with chunk count up to 2.04x, and 8 MB blocks
+benefiting ~1.86x more than 64 MB blocks.
+
+The cost model here is calibrated to that regime (compression kernels
+saturate around a few MB).  Shape targets: speedup grows monotonically
+with chunk count; smaller blocks gain more; the peak lands near 2x (not
+10x); chunk-parallel decompression also wins.
+"""
+
+from __future__ import annotations
+
+from repro.compression.buffer import BufferCostModel
+from repro.dist.gpu import GpuModel
+from repro.utils import MB, format_table
+
+from conftest import write_result
+
+CHUNK_COUNTS = (2, 4, 8, 16)
+BLOCK_SIZES_MB = (2, 8, 64)
+
+#: compression kernels need several MB to saturate an A100 (nvCOMP-style
+#: throughput curves), unlike the small GEMMs of the training step — this
+#: is the calibration under which the paper's Fig. 15 magnitudes appear
+FIG15_GPU = GpuModel(saturation_bytes=4.0 * MB)
+
+
+def test_fig15_buffer_optimization(benchmark):
+    model = BufferCostModel(gpu=FIG15_GPU)
+
+    rows = []
+    speedups: dict[tuple[int, int], float] = {}
+    for block_mb in BLOCK_SIZES_MB:
+        for n_chunks in CHUNK_COUNTS:
+            chunks = [block_mb * MB] * n_chunks
+            comp = model.compare_compression(chunks)
+            decomp = model.compare_decompression(chunks)
+            speedups[(block_mb, n_chunks)] = comp.speedup
+            rows.append(
+                (
+                    f"{block_mb} MiB",
+                    n_chunks,
+                    f"{comp.chunked_seconds * 1e3:.3f} ms",
+                    f"{comp.fused_seconds * 1e3:.3f} ms",
+                    f"{comp.speedup:.2f}x",
+                    f"{decomp.speedup:.2f}x",
+                )
+            )
+    text = format_table(
+        [
+            "block size",
+            "chunks",
+            "chunked time",
+            "single_comp time",
+            "compression speedup",
+            "parallel-decomp speedup",
+        ],
+        rows,
+        title="Fig. 15 - buffer optimization (fused single kernel vs per-chunk)",
+    )
+    write_result("fig15_buffer_opt", text)
+
+    # Speedup grows with chunk count at every block size.
+    for block_mb in BLOCK_SIZES_MB:
+        series = [speedups[(block_mb, n)] for n in CHUNK_COUNTS]
+        assert series == sorted(series), f"block {block_mb} MiB not monotone"
+        assert series[-1] > series[0]
+    # Smaller blocks benefit more (the paper's 8 MiB vs 64 MiB finding).
+    for n_chunks in CHUNK_COUNTS:
+        assert speedups[(8, n_chunks)] > speedups[(64, n_chunks)]
+        assert speedups[(2, n_chunks)] > speedups[(8, n_chunks)]
+    # Peak speedup lands in the paper's neighbourhood (~2x), not 10x.
+    peak = max(speedups.values())
+    assert 1.5 < peak < 3.5, f"peak {peak:.2f}"
+
+    chunks = [8 * MB] * 16
+    benchmark(lambda: model.compare_compression(chunks))

@@ -1,0 +1,76 @@
+"""Table I — characteristics of representative EMB tables.
+
+The paper characterizes representative Criteo Kaggle tables by three
+features: *false prediction* (Lorenzo prediction inflates entropy — true
+for every table), *violent vector homogenization* (true for some), and
+*Gaussian value distribution* (true for some).  This bench computes the
+same three features for every table of the synthetic Kaggle world and
+prints the representative rows.
+
+Shape targets: false prediction holds on (nearly) every table; the
+homogenization and Gaussianity flags split the tables (some yes, some no),
+reproducing Table I's mixed pattern.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_table
+from repro.utils import format_table
+
+from conftest import write_result
+
+ERROR_BOUND = 0.01  # Table III's Kaggle setting
+
+
+def test_table1_characteristics(kaggle_world, benchmark):
+    features = {
+        table_id: analyze_table(table_id, batch, ERROR_BOUND)
+        for table_id, batch in kaggle_world.samples.items()
+    }
+
+    rows = []
+    for table_id in sorted(features):
+        f = features[table_id]
+        rows.append(
+            (
+                table_id,
+                f.false_prediction,
+                f.violent_homogenization,
+                f.gaussian_distribution,
+                f"{f.entropy_inflation:.2f}",
+                f"{f.homo.homo_index:.3f}",
+                f"{f.gaussianity:.2f}",
+            )
+        )
+    text = format_table(
+        [
+            "EMB table",
+            "false prediction",
+            "violent homogenization",
+            "Gaussian distribution",
+            "entropy inflation",
+            "homo index",
+            "excess kurtosis",
+        ],
+        rows,
+        title="Table I - characteristics of EMB tables (synthetic Criteo Kaggle)",
+    )
+    write_result("table1_characteristics", text)
+
+    n = len(features)
+    n_false_pred = sum(f.false_prediction for f in features.values())
+    n_homog = sum(f.violent_homogenization for f in features.values())
+    n_gauss = sum(f.gaussian_distribution for f in features.values())
+
+    # Paper: false prediction afflicts its (shown) tables universally; in
+    # the synthetic worlds a majority of tables inflate, and the exceptions
+    # are exactly the hot tables whose repeated adjacent rows zero the
+    # residuals - repetition vector-LZ exploits more directly anyway.
+    assert n_false_pred >= 0.6 * n
+    # Homogenization and Gaussianity are *mixed* across tables (Table I has
+    # both checkmarks and crosses in those columns).
+    assert 0 < n_homog < n
+    assert 0 < n_gauss < n
+
+    sample = kaggle_world.samples[0]
+    benchmark.pedantic(lambda: analyze_table(0, sample, ERROR_BOUND), rounds=5, iterations=1)

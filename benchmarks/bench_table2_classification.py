@@ -1,0 +1,67 @@
+"""Table II — L/M/S classification of all EMB tables on both datasets.
+
+The paper classifies each of the 26 tables of Criteo Kaggle and Criteo
+Terabyte into large / medium / small error-bound categories from the
+Homogenization Index.  This bench regenerates the classification row for
+both synthetic worlds.
+
+Shape targets: all three classes appear on both datasets; the
+most-homogenizing tables always land in 'small'; class assignment is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive import OfflineAnalyzer
+from repro.utils import format_table
+
+from conftest import write_result
+
+
+def test_table2_classification(both_worlds, benchmark):
+    sections = []
+    plans = {}
+    for world in both_worlds:
+        plan = OfflineAnalyzer().analyze(world.samples)
+        plans[world.name] = plan
+        letters = {
+            t: plan.tables[t].category[0].upper() for t in sorted(plan.tables)
+        }
+        rows = [
+            ("EMB ID", *sorted(letters)),
+            (world.name, *[letters[t] for t in sorted(letters)]),
+        ]
+        sections.append(
+            format_table(
+                [str(c) for c in rows[0]],
+                [rows[1]],
+                title=f"Table II - classification of EMB tables ({world.name} world)",
+            )
+        )
+        counts = plan.category_counts()
+        sections.append(f"counts: {counts}")
+    write_result("table2_classification", "\n\n".join(sections))
+
+    for world in both_worlds:
+        plan = plans[world.name]
+        counts = plan.category_counts()
+        # All three classes present (as in the paper's Table II rows).
+        assert counts["small"] > 0 and counts["medium"] > 0 and counts["large"] > 0
+        # 'small' tables homogenize at least as much as any 'large' table.
+        small_min = min(
+            p.homo.homo_index for p in plan.tables.values() if p.category == "small"
+        )
+        large_max = max(
+            p.homo.homo_index for p in plan.tables.values() if p.category == "large"
+        )
+        assert small_min >= large_max
+        # Determinism.
+        again = OfflineAnalyzer().analyze(world.samples)
+        assert {t: p.category for t, p in again.tables.items()} == {
+            t: p.category for t, p in plan.tables.items()
+        }
+
+    world = both_worlds[0]
+    benchmark.pedantic(
+        lambda: OfflineAnalyzer().analyze(world.samples), rounds=3, iterations=1
+    )

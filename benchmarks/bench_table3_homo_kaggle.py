@@ -1,0 +1,61 @@
+"""Table III — ranked Homogenization Index on Criteo Kaggle (batch 128).
+
+The paper samples a 128-row batch per table at error bound 0.01 and ranks
+tables by the ratio of post-quantization to original pattern counts
+(e.g. its first row: 110 original patterns -> 68 after quantization,
+ratio 0.618).
+
+Shape targets: the most-homogenizing tables collapse a substantial
+fraction of their patterns; several tables do not homogenize at all
+(ratio 1.0); quantized counts never exceed originals.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive import homogenization_index
+from repro.utils import format_table
+
+from conftest import write_result
+
+ERROR_BOUND = 0.01  # the paper's Table III setting
+
+
+def test_table3_homo_index_kaggle(kaggle_world, benchmark):
+    results = {
+        t: homogenization_index(batch, ERROR_BOUND)
+        for t, batch in kaggle_world.samples.items()
+    }
+    ranked = sorted(results.items(), key=lambda kv: kv[1].pattern_ratio)
+
+    rows = [
+        (
+            t,
+            ERROR_BOUND,
+            r.n_original,
+            r.n_quantized,
+            r.batch_size,
+            f"{r.pattern_ratio:.6f}",
+            f"{r.homo_index:.6f}",
+        )
+        for t, r in ranked
+    ]
+    text = format_table(
+        ["TAB. ID", "EB", "# Ori.Patterns", "# Quant.Patterns", "Batch Size", "Pattern Ratio", "Homo Index (Eq.1)"],
+        rows,
+        title=f"Table III - ranked Homogenization Index (Kaggle world, batch {kaggle_world.batch_size})",
+    )
+    write_result("table3_homo_kaggle", text)
+
+    ratios = [r.pattern_ratio for _, r in ranked]
+    # Invariants: quantization only merges.
+    assert all(r.n_quantized <= r.n_original for _, r in ranked)
+    assert all(0 < ratio <= 1 for ratio in ratios)
+    # Shape of the paper's Table III: strong homogenizers at the top of the
+    # ranking (ratio well below 1) and non-homogenizers at 1.0.
+    assert ratios[0] < 0.75, f"top ratio {ratios[0]:.3f}"
+    assert ratios[-1] == 1.0
+    assert sum(1 for r in ratios if r == 1.0) >= 5
+    assert sum(1 for r in ratios if r < 0.95) >= 4
+
+    batch = kaggle_world.samples[0]
+    benchmark(lambda: homogenization_index(batch, ERROR_BOUND))

@@ -1,0 +1,62 @@
+"""Table IV — ranked Homogenization Index on Criteo Terabyte (batch 2048).
+
+Same measurement as Table III at the Terabyte configuration: batch 2048,
+error bound 0.005 (the paper's Table IV header).
+
+Shape targets: as Table III, plus the larger batch surfaces *more*
+patterns per table than the Kaggle batch does.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive import homogenization_index
+from repro.utils import format_table
+
+from conftest import write_result
+
+ERROR_BOUND = 0.005  # the paper's Table IV setting
+
+
+def test_table4_homo_index_terabyte(terabyte_world, kaggle_world, benchmark):
+    results = {
+        t: homogenization_index(batch, ERROR_BOUND)
+        for t, batch in terabyte_world.samples.items()
+    }
+    ranked = sorted(results.items(), key=lambda kv: kv[1].pattern_ratio)
+
+    rows = [
+        (
+            t,
+            ERROR_BOUND,
+            r.n_original,
+            r.n_quantized,
+            r.batch_size,
+            f"{r.pattern_ratio:.6f}",
+            f"{r.homo_index:.6f}",
+        )
+        for t, r in ranked
+    ]
+    text = format_table(
+        ["TAB. ID", "EB", "# Ori.Patterns", "# Quant.Patterns", "Batch Size", "Pattern Ratio", "Homo Index (Eq.1)"],
+        rows,
+        title=f"Table IV - ranked Homogenization Index (Terabyte world, batch {terabyte_world.batch_size})",
+    )
+    write_result("table4_homo_terabyte", text)
+
+    ratios = [r.pattern_ratio for _, r in ranked]
+    assert all(r.n_quantized <= r.n_original for _, r in ranked)
+    assert ratios[0] < 0.8
+    assert ratios[-1] == 1.0
+    # The 2048-row batch surfaces more distinct patterns than Kaggle's 128.
+    kaggle_results = {
+        t: homogenization_index(batch, ERROR_BOUND)
+        for t, batch in kaggle_world.samples.items()
+    }
+    mean_tb = sum(r.n_original for r in results.values()) / len(results)
+    mean_kg = sum(r.n_original for r in kaggle_results.values()) / len(kaggle_results)
+    assert mean_tb > mean_kg
+
+    batch = terabyte_world.samples[0]
+    benchmark.pedantic(
+        lambda: homogenization_index(batch, ERROR_BOUND), rounds=5, iterations=1
+    )

@@ -1,0 +1,99 @@
+"""Table V — compression ratio of every compressor on every EMB table.
+
+The paper's largest table: per-table ratios for cuSZ, FZ-GPU, its
+vector-LZ, its optimized Huffman, nvCOMP-LZ4, nvCOMP-Deflate, and the
+hybrid (which always matches the best of its two legs), on both datasets.
+
+Shape targets: the hybrid column equals max(vector-LZ, Huffman) per table;
+ratios vary strongly across tables; vector-LZ and Huffman win on disjoint
+table subsets (their trends are "in stark contrast"); the error-bounded
+codecs dominate the lossless byte-LZ baselines on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import get_compressor
+from repro.utils import format_table
+
+from conftest import write_result
+
+#: Kaggle / Terabyte error bounds, as in Tables III/IV
+ERROR_BOUNDS = {"kaggle": 0.01, "terabyte": 0.005}
+CODEC_COLUMNS = ("cusz_like", "fzgpu_like", "vector_lz", "entropy", "lz4_like", "deflate_like", "hybrid")
+
+
+def _ratios_for(world) -> dict[str, dict[int, float]]:
+    eb = ERROR_BOUNDS[world.name]
+    out: dict[str, dict[int, float]] = {name: {} for name in CODEC_COLUMNS}
+    for name in CODEC_COLUMNS:
+        codec = get_compressor(name)
+        for table_id, batch in world.samples.items():
+            payload = codec.compress(batch, eb if codec.error_bounded else None)
+            out[name][table_id] = batch.nbytes / len(payload)
+    return out
+
+
+def test_table5_cr_per_table(both_worlds, benchmark):
+    sections = []
+    all_ratios = {}
+    for world in both_worlds:
+        ratios = _ratios_for(world)
+        all_ratios[world.name] = ratios
+        table_ids = sorted(world.samples)
+        rows = []
+        for t in table_ids:
+            best = max(ratios[c][t] for c in CODEC_COLUMNS)
+            rows.append(
+                (
+                    t,
+                    *[
+                        f"{ratios[c][t]:.2f}" + ("*" if ratios[c][t] == best else "")
+                        for c in CODEC_COLUMNS
+                    ],
+                )
+            )
+        avg = (
+            "avg",
+            *[
+                f"{np.mean([ratios[c][t] for t in table_ids]):.2f}"
+                for c in CODEC_COLUMNS
+            ],
+        )
+        rows.append(avg)
+        sections.append(
+            format_table(
+                ["EMB", *CODEC_COLUMNS],
+                rows,
+                title=(
+                    f"Table V - per-table compression ratios ({world.name} world, "
+                    f"EB {ERROR_BOUNDS[world.name]}; * = best)"
+                ),
+            )
+        )
+    write_result("table5_cr_per_table", "\n\n".join(sections))
+
+    for world in both_worlds:
+        ratios = all_ratios[world.name]
+        table_ids = sorted(ratios["hybrid"])
+        # Hybrid == max of its two legs on every table (frame overhead aside,
+        # it *is* the smaller payload).
+        for t in table_ids:
+            assert ratios["hybrid"][t] >= max(ratios["vector_lz"][t], ratios["entropy"][t]) - 1e-9
+        # The two legs win on disjoint, non-empty subsets ("stark contrast").
+        lz_wins = [t for t in table_ids if ratios["vector_lz"][t] > ratios["entropy"][t]]
+        huff_wins = [t for t in table_ids if ratios["entropy"][t] > ratios["vector_lz"][t]]
+        assert lz_wins and huff_wins, world.name
+        # Strong per-table variance (paper: ratios vary significantly).
+        hybrid_vals = [ratios["hybrid"][t] for t in table_ids]
+        assert max(hybrid_vals) / min(hybrid_vals) > 3.0
+        # Error-bounded beats generic lossless on average, hybrid beats all.
+        mean = lambda c: np.mean([ratios[c][t] for t in table_ids])  # noqa: E731
+        assert mean("hybrid") > 3 * mean("lz4_like")
+        assert mean("hybrid") > 3 * mean("deflate_like")
+        assert mean("hybrid") >= max(mean(c) for c in CODEC_COLUMNS if c != "hybrid")
+
+    codec = get_compressor("hybrid")
+    batch = both_worlds[0].samples[0]
+    benchmark.pedantic(lambda: codec.compress(batch, 0.01), rounds=5, iterations=1)

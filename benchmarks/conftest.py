@@ -1,0 +1,160 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  Each writes its rows to ``results/<experiment>.txt`` (and prints
+them), then asserts the paper's *shape*: who wins, by roughly what factor,
+where crossovers fall.  Heavy experiments are built once per session in
+cached fixtures; the ``benchmark`` fixture times a representative kernel of
+each experiment so ``pytest benchmarks/ --benchmark-only`` produces a
+timing table as well.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import CRITEO_KAGGLE, CRITEO_TERABYTE, SyntheticClickDataset, scaled_spec
+from repro.model import DLRM, DLRMConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: evaluation geometry (paper: Kaggle batch 128, Terabyte batch 2048, dim 32/64)
+KAGGLE_BATCH = 128
+TERABYTE_BATCH = 2048
+EMBEDDING_DIM = 32
+MAX_CARDINALITY = 4000
+SEED = 2024
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's output table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+class World:
+    """One dataset + model + per-table sampled lookups."""
+
+    def __init__(self, base_spec, batch_size: int, name: str):
+        self.name = name
+        self.batch_size = batch_size
+        self.spec = scaled_spec(base_spec, max_cardinality=MAX_CARDINALITY)
+        self.dataset = SyntheticClickDataset(self.spec, seed=SEED, teacher_scale=3.0)
+        self.config = DLRMConfig.from_dataset(
+            self.spec,
+            embedding_dim=EMBEDDING_DIM,
+            bottom_hidden=(64, 32),
+            top_hidden=(64, 32),
+            seed=SEED + 1,
+        )
+        self.model = DLRM(self.config)
+        batch = self.dataset.batch(batch_size, batch_index=10_000_000)
+        self.samples = {
+            j: self.model.lookup(j, batch.sparse[:, j])
+            for j in range(self.spec.n_tables)
+        }
+
+
+#: iterations / geometry for the accuracy experiments (Figs. 5, 8, 9, 10)
+ACCURACY_ITERATIONS = 150
+ACCURACY_BATCH = 128
+ACCURACY_LR = 0.25
+EVAL_BATCHES = 8
+
+
+def train_reference_run(world: "World", lookup_transform=None):
+    """Train a fresh model on ``world`` with an optional lossy lookup hook.
+
+    Returns the :class:`~repro.train.metrics.TrainingHistory`; all runs use
+    identical seeds so method comparisons differ only in the hook.
+    """
+    from repro.train import ReferenceTrainer
+
+    model = DLRM(world.config)
+    trainer = ReferenceTrainer(
+        model, world.dataset, lr=ACCURACY_LR, lookup_transform=lookup_transform
+    )
+    return trainer.train(
+        ACCURACY_ITERATIONS,
+        ACCURACY_BATCH,
+        eval_every=ACCURACY_ITERATIONS // 2,
+        eval_batches=EVAL_BATCHES,
+    )
+
+
+def make_pipeline(world: "World", schedule=None, levels=None):
+    """Offline analysis on ``world``'s samples -> compression pipeline."""
+    from repro.adaptive import AdaptiveController, OfflineAnalyzer
+    from repro.train import CompressionPipeline
+
+    analyzer = OfflineAnalyzer() if levels is None else OfflineAnalyzer(levels=levels)
+    plan = analyzer.analyze(world.samples)
+    return CompressionPipeline(AdaptiveController(plan, schedule))
+
+
+class ClusterRuns:
+    """Baseline + compressed 32-rank simulated training (Figs. 1 and 12)."""
+
+    N_RANKS = 32
+    GLOBAL_BATCH = 4096
+    ITERATIONS = 6
+
+    def __init__(self):
+        from repro.adaptive import AdaptiveController, OfflineAnalyzer, StepwiseDecay
+        from repro.dist import ClusterSimulator
+        from repro.train import CompressionPipeline, HybridParallelTrainer
+
+        self.spec = scaled_spec(CRITEO_KAGGLE, max_cardinality=MAX_CARDINALITY)
+        self.dataset = SyntheticClickDataset(self.spec, seed=SEED, teacher_scale=3.0)
+        self.config = DLRMConfig.from_dataset(
+            self.spec,
+            embedding_dim=64,
+            bottom_hidden=(128, 64),
+            top_hidden=(128, 64),
+            seed=SEED + 1,
+        )
+        probe = DLRM(self.config)
+        batch = self.dataset.batch(256, batch_index=10_000_000)
+        samples = {
+            j: probe.lookup(j, batch.sparse[:, j]) for j in range(self.spec.n_tables)
+        }
+        self.plan = OfflineAnalyzer().analyze(samples)
+
+        sim0 = ClusterSimulator(self.N_RANKS)
+        trainer0 = HybridParallelTrainer(DLRM(self.config), self.dataset, sim0, lr=0.2)
+        self.baseline = trainer0.train(self.ITERATIONS, self.GLOBAL_BATCH)
+
+        sim1 = ClusterSimulator(self.N_RANKS)
+        controller = AdaptiveController(
+            self.plan, StepwiseDecay(2.0, phase_iterations=self.ITERATIONS // 2)
+        )
+        pipeline = CompressionPipeline(controller)
+        trainer1 = HybridParallelTrainer(
+            DLRM(self.config), self.dataset, sim1, pipeline=pipeline, lr=0.2
+        )
+        self.compressed = trainer1.train(self.ITERATIONS, self.GLOBAL_BATCH)
+
+
+@pytest.fixture(scope="session")
+def cluster_runs() -> ClusterRuns:
+    return ClusterRuns()
+
+
+@pytest.fixture(scope="session")
+def kaggle_world() -> World:
+    return World(CRITEO_KAGGLE, KAGGLE_BATCH, "kaggle")
+
+
+@pytest.fixture(scope="session")
+def terabyte_world() -> World:
+    return World(CRITEO_TERABYTE, TERABYTE_BATCH, "terabyte")
+
+
+@pytest.fixture(scope="session")
+def both_worlds(kaggle_world, terabyte_world) -> list[World]:
+    return [kaggle_world, terabyte_world]

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The dual-level adaptive error-bound strategy, step by step.
+
+Level 1 (table-wise): measures each table's Homogenization Index on sampled
+lookups, classifies tables into small/medium/large error-bound groups, and
+shows the per-table encoder Algorithm 2 selects.
+
+Level 2 (iteration-wise): plots (as text) how the effective bound of one
+table evolves under the paper's decay schedules, and how the resulting
+compression ratio and training accuracy respond.
+
+Run:  python examples/adaptive_error_bound.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adaptive import (
+    AdaptiveController,
+    OfflineAnalyzer,
+    make_schedule,
+)
+from repro.data import CRITEO_KAGGLE, SyntheticClickDataset, scaled_spec
+from repro.model import DLRM, DLRMConfig
+from repro.train import CompressionPipeline, ReferenceTrainer
+from repro.utils import format_table
+
+ITERATIONS = 120
+PHASE = 60
+SEED = 23
+
+
+def main() -> None:
+    spec = scaled_spec(CRITEO_KAGGLE, max_cardinality=2000)
+    dataset = SyntheticClickDataset(spec, seed=SEED, teacher_scale=3.0)
+    config = DLRMConfig.from_dataset(spec, embedding_dim=16, seed=SEED + 1)
+    probe = DLRM(config)
+    batch = dataset.batch(256, batch_index=999_999)
+    samples = {j: probe.lookup(j, batch.sparse[:, j]) for j in range(spec.n_tables)}
+
+    # ---- Level 1: table-wise classification -------------------------------
+    plan = OfflineAnalyzer().analyze(samples)
+    rows = []
+    for table_id in sorted(plan.tables)[:10]:
+        table_plan = plan.tables[table_id]
+        rows.append(
+            (
+                table_id,
+                table_plan.homo.n_original,
+                table_plan.homo.n_quantized,
+                f"{table_plan.homo.homo_index:.3f}",
+                table_plan.category,
+                table_plan.error_bound,
+                table_plan.compressor,
+            )
+        )
+    print(
+        format_table(
+            ["table", "#patterns", "#quantized", "homo index", "class", "error bound", "encoder"],
+            rows,
+            title="Level 1 - table-wise configuration (first 10 tables)",
+        )
+    )
+
+    # ---- Level 2: iteration-wise decay ------------------------------------
+    schedules = {
+        "stepwise": make_schedule("stepwise", initial_scale=2.0, phase_iterations=PHASE),
+        "linear": make_schedule("linear", initial_scale=2.0, phase_iterations=PHASE),
+        "drop": make_schedule("drop", initial_scale=2.0, phase_iterations=PHASE),
+    }
+    print("\nLevel 2 - effective bound of table 0 over training (x = 10 iters):")
+    for name, schedule in schedules.items():
+        controller = AdaptiveController(plan, schedule)
+        trace = "".join(
+            str(int(10 * controller.error_bound(0, i) / plan.error_bound_for(0)))
+            for i in range(0, ITERATIONS, 10)
+        )
+        print(f"  {name:9s} x{trace}  (digits = bound / base x 10)")
+
+    # ---- Effect on accuracy + compression ratio ---------------------------
+    print("\nTraining with each schedule (same seed, same data):")
+    rows = []
+    for name, schedule in schedules.items():
+        controller = AdaptiveController(plan, schedule)
+        pipeline = CompressionPipeline(controller)
+        model = DLRM(config)
+        trainer = ReferenceTrainer(
+            model, dataset, lr=0.25, lookup_transform=pipeline.roundtrip
+        )
+        history = trainer.train(ITERATIONS, 128, eval_every=ITERATIONS)
+        rows.append(
+            (
+                name,
+                f"{np.mean(history.losses[-10:]):.4f}",
+                f"{history.final_accuracy:.4f}",
+                f"{pipeline.mean_ratio():.2f}x",
+            )
+        )
+    print(format_table(["schedule", "final loss", "accuracy", "mean CR"], rows))
+    print(
+        "\nStepwise decay keeps the accuracy of the tight bound while "
+        "harvesting the early-phase compression of the loose one (Fig. 5/10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

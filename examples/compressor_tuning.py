@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Compressor fine-tuning: window size and buffer optimization.
+
+Reproduces the two Section III-E studies at example scale:
+
+* **Window size** — the vector-based LZ window is swept over
+  {32, 64, 128, 255} vectors on a batch whose hot rows recur at varying
+  gaps; larger windows catch longer-range repeats (Table VI's mechanism).
+* **Buffer optimization** — the fused single-kernel compression and the
+  chunk-parallel decompression are priced against the naive per-chunk
+  execution across chunk counts (Fig. 15's mechanism).
+
+Run:  python examples/compressor_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import VectorLZCompressor
+from repro.compression.buffer import BufferCostModel
+from repro.utils import MB, format_table
+
+SEED = 31
+
+
+def window_sweep() -> None:
+    rng = np.random.default_rng(SEED)
+    # Hot rows recur with gaps beyond small windows: pool of 180 rows,
+    # batch of 2048 queries (Zipf-like reuse).
+    pool = rng.laplace(0, 0.1, size=(180, 32)).astype(np.float32)
+    weights = 1.0 / np.arange(1, 181) ** 1.1
+    ids = rng.choice(180, size=2048, p=weights / weights.sum())
+    data = pool[ids].copy()
+
+    rows = []
+    base_ratio = None
+    for window in (32, 64, 128, 255):
+        codec = VectorLZCompressor(window=window)
+        payload = codec.compress(data, 0.01)
+        ratio = data.nbytes / len(payload)
+        if base_ratio is None:
+            base_ratio = ratio
+        rows.append((window, f"{ratio:.2f}x", f"{ratio / base_ratio:.2f}x"))
+    print(
+        format_table(
+            ["window (vectors)", "compression ratio", "vs window=32"],
+            rows,
+            title="Vector-LZ window-size fine-tuning (Table VI mechanism)",
+        )
+    )
+
+
+def buffer_optimization() -> None:
+    model = BufferCostModel()  # A100-like device, vector-LZ throughputs
+    rows = []
+    for n_chunks in (2, 4, 8, 16):
+        for chunk_mb in (4, 8, 64):
+            chunks = [chunk_mb * MB] * n_chunks
+            comp = model.compare_compression(chunks)
+            decomp = model.compare_decompression(chunks)
+            rows.append(
+                (
+                    n_chunks,
+                    f"{chunk_mb} MiB",
+                    f"{comp.speedup:.2f}x",
+                    f"{decomp.speedup:.2f}x",
+                )
+            )
+    print()
+    print(
+        format_table(
+            ["chunks", "chunk size", "compression speedup", "decompression speedup"],
+            rows,
+            title="Buffer optimization: fused kernel vs per-chunk (Fig. 15 mechanism)",
+        )
+    )
+    print(
+        "\nThe fused kernel wins more with more chunks and with smaller"
+        "\nblocks, where kernel-launch overhead and low GPU utilization"
+        "\ndominate - the paper's 8 MiB-vs-64 MiB observation."
+    )
+
+
+if __name__ == "__main__":
+    window_sweep()
+    buffer_optimization()

@@ -1,0 +1,21 @@
+"""Legacy-path setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 517
+editable installs (which require bdist_wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the classic
+``setup.py develop`` path.  Metadata mirrors pyproject.toml.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Accelerating Communication in DLRM Training with "
+        "Dual-Level Adaptive Lossy Compression' (SC'24)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,83 @@
+"""Homogenization Index (Equation 1 of the paper).
+
+Quantization can make two nearly identical embedding vectors byte-identical
+("vector homogenization", observation ❷).  The Homogenization Index measures
+how strongly a table's sampled batch homogenizes under a given error bound:
+
+    eta = (N_original - N_quantized) / N_original            (Eq. 1)
+
+where ``N_original`` is the number of distinct vectors in the raw batch and
+``N_quantized`` the number of distinct vectors after quantization.  ``eta``
+is 0 when quantization collapses nothing and approaches 1 when all vectors
+fuse into one.
+
+Note on conventions: the paper's Tables III/IV tabulate the *pattern ratio*
+``N_quantized / N_original`` (= 1 - eta) under the same column name; both
+quantities are exposed here so either presentation can be produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.quantizer import quantize
+from repro.utils.validation import check_positive, check_shape
+
+__all__ = ["count_patterns", "HomoIndexResult", "homogenization_index"]
+
+
+def count_patterns(rows: np.ndarray) -> int:
+    """Number of distinct rows (vectors) in a 2-D batch."""
+    rows = np.ascontiguousarray(rows)
+    check_shape("rows", rows, 2)
+    if rows.shape[0] == 0:
+        return 0
+    return int(np.unique(rows, axis=0).shape[0])
+
+
+@dataclass(frozen=True)
+class HomoIndexResult:
+    """Pattern counts and derived indices for one sampled batch."""
+
+    n_original: int  # distinct vectors before quantization
+    n_quantized: int  # distinct vectors after quantization
+    batch_size: int
+    error_bound: float
+
+    @property
+    def homo_index(self) -> float:
+        """Eq. (1): 0 = no homogenization, -> 1 = complete homogenization."""
+        if self.n_original == 0:
+            return 0.0
+        return (self.n_original - self.n_quantized) / self.n_original
+
+    @property
+    def pattern_ratio(self) -> float:
+        """The Tables III/IV presentation: ``N_quantized / N_original``."""
+        if self.n_original == 0:
+            return 1.0
+        return self.n_quantized / self.n_original
+
+
+def homogenization_index(batch: np.ndarray, error_bound: float) -> HomoIndexResult:
+    """Measure vector homogenization of a sampled batch under ``error_bound``.
+
+    The batch rows are embedding lookups sampled from one table during the
+    offline-analysis phase.
+    """
+    batch = np.ascontiguousarray(batch)
+    check_shape("batch", batch, 2)
+    check_positive("error_bound", error_bound)
+    n_original = count_patterns(batch)
+    codes = quantize(batch, error_bound)
+    n_quantized = count_patterns(codes)
+    # Quantization is a many-to-one map on rows, so it can only merge.
+    assert n_quantized <= n_original
+    return HomoIndexResult(
+        n_original=n_original,
+        n_quantized=n_quantized,
+        batch_size=batch.shape[0],
+        error_bound=float(error_bound),
+    )

@@ -1,0 +1,155 @@
+"""Offline analysis: Algorithm 1's ``OfflineAnalysis`` + Algorithm 2.
+
+Before training, a few iterations of lookups are sampled per table.  The
+analyzer then:
+
+1. computes each table's Homogenization Index at the global error bound;
+2. classifies tables into small/medium/large error-bound categories;
+3. runs compressor selection (Eq.-2 speedup) per table;
+
+and emits a :class:`CompressionPlan` — the static configuration the online
+controller applies during training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adaptive.classify import (
+    ClassifierThresholds,
+    ErrorBoundLevels,
+    TableCategory,
+    classify_by_rank,
+    classify_by_threshold,
+)
+from repro.adaptive.homo_index import HomoIndexResult, homogenization_index
+from repro.adaptive.selection import (
+    PAPER_A100_PROFILE,
+    DeviceThroughputProfile,
+    SelectionResult,
+    select_compressor,
+)
+from repro.compression.entropy import EntropyCompressor
+from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
+from repro.utils.validation import check_positive
+
+__all__ = ["TablePlan", "CompressionPlan", "OfflineAnalyzer"]
+
+
+@dataclass(frozen=True)
+class TablePlan:
+    """Per-table static configuration produced by the offline analysis."""
+
+    table_id: int
+    category: TableCategory
+    error_bound: float
+    compressor: str
+    homo: HomoIndexResult
+    selection: SelectionResult
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """Everything the online controller needs, table by table."""
+
+    tables: dict[int, TablePlan]
+    levels: ErrorBoundLevels
+    global_error_bound: float
+
+    def error_bound_for(self, table_id: int) -> float:
+        return self.tables[table_id].error_bound
+
+    def compressor_for(self, table_id: int) -> str:
+        return self.tables[table_id].compressor
+
+    def category_counts(self) -> dict[TableCategory, int]:
+        counts: dict[TableCategory, int] = {"small": 0, "medium": 0, "large": 0}
+        for plan in self.tables.values():
+            counts[plan.category] += 1
+        return counts
+
+
+@dataclass
+class OfflineAnalyzer:
+    """Samples -> :class:`CompressionPlan` (Algorithms 1 + 2).
+
+    Parameters
+    ----------
+    levels:
+        The three error-bound levels for table categories.
+    bandwidth:
+        All-to-all bandwidth in bytes/s for the Eq.-2 selection.
+    classifier:
+        ``"rank"`` (tertile split, default — always yields all three
+        classes, like the paper's Table II) or ``"threshold"``
+        (Algorithm 1's fixed thresholds).
+    thresholds:
+        Thresholds for the ``"threshold"`` classifier.
+    window:
+        Vector-LZ window used during candidate evaluation.
+    """
+
+    levels: ErrorBoundLevels = field(default_factory=ErrorBoundLevels)
+    bandwidth: float = 4.0e9
+    profile: DeviceThroughputProfile = field(default_factory=lambda: PAPER_A100_PROFILE)
+    classifier: str = "rank"
+    thresholds: ClassifierThresholds = field(default_factory=ClassifierThresholds)
+    small_fraction: float = 1.0 / 3.0
+    large_fraction: float = 1.0 / 3.0
+    window: int = DEFAULT_WINDOW
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        if self.classifier not in ("rank", "threshold"):
+            raise ValueError(f"classifier must be 'rank' or 'threshold', got {self.classifier!r}")
+
+    def analyze(self, samples: dict[int, np.ndarray]) -> CompressionPlan:
+        """Build the plan from per-table sampled lookups.
+
+        ``samples`` maps table id to a 2-D ``(batch, dim)`` sample of that
+        table's lookup output.
+        """
+        if not samples:
+            raise ValueError("no samples provided")
+        homo: dict[int, HomoIndexResult] = {
+            table_id: homogenization_index(batch, self.levels.medium)
+            for table_id, batch in samples.items()
+        }
+        if self.classifier == "rank":
+            categories = classify_by_rank(
+                {t: h.homo_index for t, h in homo.items()},
+                small_fraction=self.small_fraction,
+                large_fraction=self.large_fraction,
+            )
+        else:
+            categories = {
+                t: classify_by_threshold(h.homo_index, self.thresholds)
+                for t, h in homo.items()
+            }
+        tables: dict[int, TablePlan] = {}
+        for table_id, batch in samples.items():
+            category = categories[table_id]
+            error_bound = self.levels.for_category(category)
+            selection = select_compressor(
+                batch,
+                candidates={
+                    "vector_lz": VectorLZCompressor(window=self.window),
+                    "entropy": EntropyCompressor(),
+                },
+                error_bound=error_bound,
+                bandwidth=self.bandwidth,
+                profile=self.profile,
+            )
+            tables[table_id] = TablePlan(
+                table_id=table_id,
+                category=category,
+                error_bound=error_bound,
+                compressor=selection.best,
+                homo=homo[table_id],
+                selection=selection,
+            )
+        return CompressionPlan(
+            tables=tables, levels=self.levels, global_error_bound=self.levels.medium
+        )

@@ -1,0 +1,21 @@
+"""Embedding-data feature analysis."""
+
+from repro.analysis.features import (
+    GAUSSIANITY_THRESHOLD,
+    VIOLENT_HOMOGENIZATION_THRESHOLD,
+    TableFeatures,
+    analyze_table,
+    code_entropy,
+    gaussianity_score,
+    lorenzo_entropy_inflation,
+)
+
+__all__ = [
+    "code_entropy",
+    "lorenzo_entropy_inflation",
+    "gaussianity_score",
+    "TableFeatures",
+    "analyze_table",
+    "VIOLENT_HOMOGENIZATION_THRESHOLD",
+    "GAUSSIANITY_THRESHOLD",
+]

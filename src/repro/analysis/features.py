@@ -1,0 +1,117 @@
+"""Embedding-data feature analysis (Section III-B, Table I, Figs. 13-14).
+
+Quantifies the three observations the paper's compressor design rests on:
+
+* **False prediction** — Lorenzo prediction *raises* the entropy of
+  quantized embedding batches (neighbouring rows are independent lookups).
+  Measured as the ratio of residual-code entropy to raw-code entropy;
+  ratios above 1 mean prediction hurts.
+* **Vector homogenization** — quantization merges near-identical vectors;
+  measured by the Homogenization Index (Eq. 1).
+* **Gaussian value distribution** — hot tables show concentrated, roughly
+  Gaussian value histograms; measured by excess kurtosis against the
+  uniform alternative (uniform has kurtosis -1.2, Gaussian 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adaptive.homo_index import HomoIndexResult, homogenization_index
+from repro.compression.baselines.cusz_like import lorenzo_residuals_2d
+from repro.compression.quantizer import quantize
+from repro.utils.validation import check_positive, check_shape
+
+__all__ = [
+    "code_entropy",
+    "lorenzo_entropy_inflation",
+    "gaussianity_score",
+    "TableFeatures",
+    "analyze_table",
+]
+
+#: homogenization index above which Table I marks "violent" homogenization
+VIOLENT_HOMOGENIZATION_THRESHOLD = 0.25
+#: excess-kurtosis score above which the value histogram reads as Gaussian
+#: (halfway between uniform's -1.2 and Gaussian's 0.0)
+GAUSSIANITY_THRESHOLD = -0.6
+
+
+def code_entropy(codes: np.ndarray) -> float:
+    """Shannon entropy (bits/symbol) of an integer code array."""
+    codes = np.asarray(codes).ravel()
+    if codes.size == 0:
+        return 0.0
+    _, counts = np.unique(codes, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def lorenzo_entropy_inflation(batch: np.ndarray, error_bound: float) -> float:
+    """Entropy(Lorenzo residuals) / Entropy(raw quantization codes).
+
+    Values > 1 are the paper's *false prediction*: the predictor spreads
+    the code distribution instead of concentrating it.
+    """
+    batch = np.ascontiguousarray(batch)
+    check_shape("batch", batch, 2)
+    check_positive("error_bound", error_bound)
+    codes = quantize(batch, error_bound)
+    raw_entropy = code_entropy(codes)
+    residual_entropy = code_entropy(lorenzo_residuals_2d(codes))
+    if raw_entropy == 0.0:
+        # Degenerate constant batch: any nonzero residual entropy inflates.
+        return np.inf if residual_entropy > 0 else 1.0
+    return residual_entropy / raw_entropy
+
+
+def gaussianity_score(values: np.ndarray) -> float:
+    """Excess kurtosis of the pooled values.
+
+    0 for a Gaussian, -1.2 for a uniform distribution; heavier-than-normal
+    tails go positive.  Concentrated (Gaussian-ish) tables score near or
+    above 0, broad uniform-ish tables score near -1.2.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size < 4:
+        raise ValueError(f"need at least 4 values, got {values.size}")
+    centred = values - values.mean()
+    variance = float((centred**2).mean())
+    if variance == 0.0:
+        return 0.0
+    return float((centred**4).mean() / variance**2 - 3.0)
+
+
+@dataclass(frozen=True)
+class TableFeatures:
+    """Table I-style characterization of one table's sampled batch."""
+
+    table_id: int
+    homo: HomoIndexResult
+    entropy_inflation: float
+    gaussianity: float
+
+    @property
+    def false_prediction(self) -> bool:
+        """Lorenzo prediction raises entropy on this table."""
+        return self.entropy_inflation > 1.0
+
+    @property
+    def violent_homogenization(self) -> bool:
+        return self.homo.homo_index > VIOLENT_HOMOGENIZATION_THRESHOLD
+
+    @property
+    def gaussian_distribution(self) -> bool:
+        return self.gaussianity > GAUSSIANITY_THRESHOLD
+
+
+def analyze_table(table_id: int, batch: np.ndarray, error_bound: float) -> TableFeatures:
+    """Compute all Table I characteristics for one sampled batch."""
+    return TableFeatures(
+        table_id=table_id,
+        homo=homogenization_index(batch, error_bound),
+        entropy_inflation=lorenzo_entropy_inflation(batch, error_bound),
+        gaussianity=gaussianity_score(batch),
+    )

@@ -1,0 +1,146 @@
+"""Common compressor interface and payload framing.
+
+All compressors in this library — the paper's hybrid compressor and every
+baseline — share one contract:
+
+* :meth:`Compressor.compress` takes a 2-D float32 batch of embedding vectors
+  ``(batch, dim)`` plus an absolute error bound, and returns a single
+  *self-describing* ``bytes`` payload (header + body).  Compression ratios
+  are therefore honest: they account for all metadata a receiver needs.
+* :meth:`Compressor.decompress` inverts it exactly (lossless codecs) or
+  within the error bound (lossy codecs).
+
+Lossless codecs ignore the error bound argument; fixed-rate codecs (FP16,
+FP8) ignore it too but remain lossy.  The payload begins with a magic byte,
+a codec-name string and the original dtype/shape, followed by codec-specific
+metadata and the body.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.compression.serialization import pack_meta, unpack_meta
+
+__all__ = ["Compressor", "CompressionResult", "frame_payload", "parse_payload", "MAGIC"]
+
+MAGIC = 0xDC  # "DLRM Compression" frame marker
+
+
+def frame_payload(
+    codec: str,
+    array_shape: tuple[int, ...],
+    array_dtype: np.dtype,
+    meta: dict[str, Any],
+    body: bytes,
+) -> bytes:
+    """Assemble the standard self-describing payload."""
+    header = {
+        "codec": codec,
+        "dtype": np.dtype(array_dtype).str,
+        "shape": np.asarray(array_shape, dtype=np.int64),
+        **meta,
+    }
+    packed = pack_meta(header)
+    return bytes([MAGIC]) + packed + body
+
+
+def parse_payload(payload: bytes | memoryview) -> tuple[dict[str, Any], memoryview]:
+    """Split a framed payload into ``(header, body_view)``."""
+    view = memoryview(payload)
+    if len(view) == 0 or view[0] != MAGIC:
+        raise ValueError("not a repro compression payload (bad magic byte)")
+    header, pos = unpack_meta(view, 1)
+    return header, view[pos:]
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of one compression call, with ratio accounting.
+
+    ``ratio`` is original bytes over compressed bytes (>1 means smaller).
+    """
+
+    payload: bytes
+    original_nbytes: int
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        return self.original_nbytes / max(1, len(self.payload))
+
+
+class Compressor(ABC):
+    """Abstract base for batch-of-embedding-vector compressors.
+
+    Subclasses set :attr:`name` (registry key) and :attr:`lossy`, and
+    implement ``_compress_body`` / ``_decompress_body`` over the framed
+    metadata.  The public entry points validate inputs and handle framing.
+    """
+
+    #: registry key, e.g. ``"hybrid"`` or ``"fp16"``
+    name: str = "abstract"
+    #: whether reconstruction may differ from the input
+    lossy: bool = True
+    #: whether the codec honours the ``error_bound`` argument
+    error_bounded: bool = False
+
+    def compress(self, array: np.ndarray, error_bound: float | None = None) -> bytes:
+        """Compress a 2-D float batch into a self-describing payload."""
+        array = np.ascontiguousarray(array)
+        if array.ndim != 2:
+            raise ValueError(f"{self.name}: expected 2-D (batch, dim) array, got shape {array.shape}")
+        if array.dtype not in (np.float32, np.float64):
+            raise TypeError(f"{self.name}: expected float32/float64 input, got {array.dtype}")
+        if self.error_bounded:
+            if error_bound is None or not error_bound > 0:
+                raise ValueError(f"{self.name}: requires a positive error_bound, got {error_bound!r}")
+        meta, body = self._compress_body(array, error_bound)
+        return frame_payload(self.name, array.shape, array.dtype, meta, body)
+
+    def decompress(self, payload: bytes | memoryview) -> np.ndarray:
+        """Reconstruct the batch from a payload produced by :meth:`compress`."""
+        header, body = parse_payload(payload)
+        if header["codec"] != self.name:
+            raise ValueError(
+                f"payload was produced by codec {header['codec']!r}, not {self.name!r};"
+                " use repro.compression.registry.decompress_any"
+            )
+        shape = tuple(int(s) for s in header["shape"])
+        dtype = np.dtype(header["dtype"])
+        array = self._decompress_body(header, body, shape, dtype)
+        if array.shape != shape:
+            raise AssertionError(f"{self.name}: decoded shape {array.shape} != {shape}")
+        return array
+
+    def compress_with_stats(self, array: np.ndarray, error_bound: float | None = None) -> CompressionResult:
+        """Compress and return payload together with ratio accounting."""
+        array = np.ascontiguousarray(array)
+        payload = self.compress(array, error_bound)
+        return CompressionResult(payload=payload, original_nbytes=array.nbytes)
+
+    @abstractmethod
+    def _compress_body(
+        self, array: np.ndarray, error_bound: float | None
+    ) -> tuple[dict[str, Any], bytes]:
+        """Return ``(codec_meta, body_bytes)`` for a validated input."""
+
+    @abstractmethod
+    def _decompress_body(
+        self,
+        header: dict[str, Any],
+        body: memoryview,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+    ) -> np.ndarray:
+        """Reconstruct the array from header + body."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} lossy={self.lossy}>"

@@ -1,0 +1,112 @@
+"""Vectorized bit-level packing for entropy and fixed-width codes.
+
+GPU entropy coders write variable-length codes with warp-parallel bit
+scatter; the NumPy analogue here packs all symbols in ``O(max_code_length)``
+vectorized passes instead of a per-symbol Python loop: pass ``b`` writes bit
+``b`` of every code whose length exceeds ``b`` using ``np.bitwise_or.at``.
+
+All bit order is MSB-first within a byte, matching conventional canonical
+Huffman streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_codes", "unpack_fixed", "bits_to_bytes", "pack_fixed"]
+
+
+def bits_to_bytes(nbits: int) -> int:
+    """Number of bytes needed to hold ``nbits`` bits."""
+    return (int(nbits) + 7) // 8
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Concatenate variable-length codes into a packed byte array.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer code values; bit ``length-1`` down to bit ``0`` of
+        each value are emitted MSB-first.
+    lengths:
+        Bit length of each code (same shape as ``codes``); each must be in
+        ``[1, 57]``.
+
+    Returns
+    -------
+    (packed, total_bits):
+        ``packed`` is a ``uint8`` array; trailing pad bits are zero.
+    """
+    codes = np.asarray(codes, dtype=np.uint64).ravel()
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    if codes.shape != lengths.shape:
+        raise ValueError(f"codes/lengths shape mismatch: {codes.shape} vs {lengths.shape}")
+    if codes.size == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+    if lengths.min() < 1 or lengths.max() > 57:
+        raise ValueError(f"code lengths must be in [1, 57], got range [{lengths.min()}, {lengths.max()}]")
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    total_bits = int(ends[-1])
+    packed = np.zeros(bits_to_bytes(total_bits), dtype=np.uint8)
+    max_len = int(lengths.max())
+    for b in range(max_len):
+        live = lengths > b
+        if not live.any():
+            break
+        pos = starts[live] + b
+        shift = (lengths[live] - 1 - b).astype(np.uint64)
+        bit = (codes[live] >> shift) & np.uint64(1)
+        on = bit.astype(bool)
+        if on.any():
+            byte_idx = (pos[on] >> 3).astype(np.int64)
+            bit_in_byte = (7 - (pos[on] & 7)).astype(np.uint8)
+            np.bitwise_or.at(packed, byte_idx, np.left_shift(np.uint8(1), bit_in_byte))
+    return packed, total_bits
+
+
+def pack_fixed(values: np.ndarray, width: int) -> tuple[np.ndarray, int]:
+    """Pack unsigned integers at a fixed bit width (MSB-first)."""
+    values = np.asarray(values, dtype=np.uint64).ravel()
+    if width < 0 or width > 57:
+        raise ValueError(f"width must be in [0, 57], got {width}")
+    if width == 0:
+        if values.size and values.max() > 0:
+            raise ValueError("width 0 requires all-zero values")
+        return np.zeros(0, dtype=np.uint8), 0
+    if values.size and int(values.max()) >> width:
+        raise ValueError(f"value {values.max()} does not fit in {width} bits")
+    lengths = np.full(values.shape, width, dtype=np.int64)
+    return pack_codes(values, lengths)
+
+
+def unpack_fixed(packed: np.ndarray, count: int, width: int, bit_offset: int = 0) -> np.ndarray:
+    """Read ``count`` fixed-width unsigned integers starting at ``bit_offset``.
+
+    Vectorized: gathers up to 9 bytes around each value and shifts.  Inverse
+    of :func:`pack_fixed` for the same ``width``.
+    """
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    if width < 0 or width > 57:
+        raise ValueError(f"width must be in [0, 57], got {width}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    starts = bit_offset + np.arange(count, dtype=np.int64) * width
+    last_bit = int(starts[-1]) + width
+    if last_bit > packed.size * 8:
+        raise ValueError(f"stream too short: need {last_bit} bits, have {packed.size * 8}")
+    byte_start = (starts >> 3).astype(np.int64)
+    # A width<=57 value starting mid-byte spans at most 8 bytes.
+    padded = np.concatenate([packed, np.zeros(8, dtype=np.uint8)])
+    gathered = np.zeros(count, dtype=np.uint64)
+    for k in range(8):
+        gathered = (gathered << np.uint64(8)) | padded[byte_start + k].astype(np.uint64)
+    # gathered now holds 64 bits beginning at byte_start*8; shift the target
+    # window (starting at bit offset within byte) down to the low bits.
+    offset_in_byte = (starts & 7).astype(np.uint64)
+    shift = np.uint64(64) - offset_in_byte - np.uint64(width)
+    mask = np.uint64((1 << width) - 1)
+    return (gathered >> shift) & mask

@@ -1,0 +1,76 @@
+"""Throughput-profile calibration for Algorithm-2 selection.
+
+The Eq.-2 selection needs per-codec compression/decompression throughputs.
+:data:`~repro.adaptive.selection.PAPER_A100_PROFILE` carries the paper's
+published A100 numbers; on a *different* device, the right profile comes
+from measurement.  This helper measures each codec's wall-clock throughput
+on a sample and optionally rescales the whole profile so that a reference
+codec matches a known device number (useful when the measurement host is
+not the deployment device: relative codec speeds transfer better than
+absolute ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adaptive.selection import CodecThroughput, DeviceThroughputProfile
+from repro.compression.base import Compressor
+from repro.compression.metrics import evaluate_codec
+from repro.utils.validation import check_positive
+
+__all__ = ["calibrate_profile"]
+
+
+def calibrate_profile(
+    sample: np.ndarray,
+    codecs: dict[str, Compressor],
+    error_bound: float,
+    repeats: int = 3,
+    reference: tuple[str, float] | None = None,
+) -> DeviceThroughputProfile:
+    """Measure codec throughputs on ``sample`` and build a profile.
+
+    Parameters
+    ----------
+    sample:
+        A representative ``(batch, dim)`` lookup batch.
+    codecs:
+        Codec name -> instance; each is round-tripped ``repeats`` times and
+        the best (least-noisy) throughput is kept.
+    reference:
+        Optional ``(codec_name, known_compress_throughput)``: every
+        measured number is scaled by the factor that maps the reference
+        codec's measured compression throughput onto the known one.
+    """
+    if not codecs:
+        raise ValueError("need at least one codec to calibrate")
+    check_positive("repeats", repeats)
+    measured: dict[str, CodecThroughput] = {}
+    for name, codec in codecs.items():
+        best_compress = 0.0
+        best_decompress = 0.0
+        for _ in range(repeats):
+            evaluation = evaluate_codec(
+                codec, sample, error_bound if codec.error_bounded else None
+            )
+            best_compress = max(best_compress, evaluation.compress_throughput)
+            best_decompress = max(best_decompress, evaluation.decompress_throughput)
+        measured[name] = CodecThroughput(
+            compress=best_compress, decompress=best_decompress
+        )
+    scale = 1.0
+    if reference is not None:
+        ref_name, known = reference
+        check_positive("reference throughput", known)
+        if ref_name not in measured:
+            raise KeyError(f"reference codec {ref_name!r} not among calibrated codecs")
+        scale = known / measured[ref_name].compress
+    return DeviceThroughputProfile(
+        codecs={
+            name: CodecThroughput(
+                compress=t.compress * scale, decompress=t.decompress * scale
+            )
+            for name, t in measured.items()
+        }
+    )

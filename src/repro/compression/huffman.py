@@ -1,0 +1,348 @@
+"""Optimized entropy encoder: canonical, length-limited Huffman coding.
+
+This is the paper's "optimized entropy encoding" leg of the hybrid
+compressor.  Design points mirroring the GPU implementation:
+
+* **Canonical codes** — the codebook ships as code *lengths* only (plus the
+  symbol alphabet); codes are re-derived on the receiver, keeping metadata
+  small.
+* **Length limiting** — code lengths are capped (default 15 bits) so the
+  decoder can use a single flat peek table, the same reason Deflate caps at
+  15.  Lengths are fixed up to satisfy Kraft's inequality after clamping.
+* **Chunked streams** — symbols are encoded in independent chunks with
+  recorded bit offsets, mirroring the paper's chunk-parallel decompression
+  (Section III-E): each chunk can be decoded independently.
+
+Encoding is fully vectorized (see :mod:`repro.compression.bitstream`);
+decoding computes speculative flat-peek-table lookups at every bit offset
+vectorized (the gap-array technique of GPU Huffman decoders) and then only
+walks the per-chunk jump chain sequentially.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.bitstream import pack_codes
+
+__all__ = [
+    "huffman_code_lengths",
+    "limit_code_lengths",
+    "canonical_codes",
+    "HuffmanCodebook",
+    "build_codebook",
+    "HuffmanEncoded",
+    "huffman_encode",
+    "huffman_decode",
+    "DEFAULT_MAX_CODE_LENGTH",
+    "DEFAULT_CHUNK_SYMBOLS",
+]
+
+DEFAULT_MAX_CODE_LENGTH = 15
+DEFAULT_CHUNK_SYMBOLS = 4096
+
+
+def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Optimal (unlimited) Huffman code lengths for positive frequencies.
+
+    Ties are broken deterministically by symbol index so codebooks are
+    reproducible across runs.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    n = freqs.size
+    if n == 0:
+        raise ValueError("cannot build a Huffman code over an empty alphabet")
+    if (freqs <= 0).any():
+        raise ValueError("all frequencies must be positive (drop unused symbols first)")
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    # Leaves are ids [0, n); internal nodes get ids [n, 2n-1).  Heap entries
+    # carry (weight, id) — the id tiebreak keeps construction deterministic.
+    heap: list[tuple[int, int]] = [(int(f), i) for i, f in enumerate(freqs)]
+    heapq.heapify(heap)
+    parent = np.zeros(2 * n - 1, dtype=np.int64)
+    next_id = n
+    while len(heap) > 1:
+        w1, a = heapq.heappop(heap)
+        w2, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (w1 + w2, next_id))
+        next_id += 1
+    root = next_id - 1
+    depth = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(root - 1, -1, -1):  # parents always have larger ids
+        depth[node] = depth[parent[node]] + 1
+    return depth[:n]
+
+
+def limit_code_lengths(lengths: np.ndarray, freqs: np.ndarray, max_length: int) -> np.ndarray:
+    """Clamp code lengths to ``max_length`` and repair Kraft's inequality.
+
+    Uses the classic zlib-style adjustment: clamp, then while the Kraft sum
+    exceeds 1 lengthen the cheapest (lowest-frequency) symbol that still has
+    headroom; finally shorten the most frequent symbols while the sum allows,
+    recovering most of the clamping loss.  The result always satisfies
+    ``sum(2**-l) <= 1`` and hence admits a canonical prefix code.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64).copy()
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+    if lengths.size > (1 << max_length):
+        raise ValueError(
+            f"alphabet of {lengths.size} symbols cannot fit in {max_length}-bit codes"
+        )
+    np.minimum(lengths, max_length, out=lengths)
+    # Kraft sum scaled by 2**max_length to stay in integers.
+    unit = 1 << max_length
+    kraft = int(np.sum(unit >> lengths))
+    if kraft > unit:
+        # Lengthen low-frequency symbols (cheapest in expected bits) first.
+        order = np.argsort(freqs, kind="stable")
+        while kraft > unit:
+            progressed = False
+            for idx in order:
+                if lengths[idx] < max_length:
+                    kraft -= (unit >> lengths[idx]) - (unit >> (lengths[idx] + 1))
+                    lengths[idx] += 1
+                    progressed = True
+                    if kraft <= unit:
+                        break
+            if not progressed:  # pragma: no cover - guarded by size check above
+                raise AssertionError("cannot satisfy Kraft inequality")
+    # Greedy improvement: shorten the most frequent symbols while legal.
+    order = np.argsort(-freqs, kind="stable")
+    improved = True
+    while improved:
+        improved = False
+        for idx in order:
+            if lengths[idx] > 1:
+                gain = (unit >> lengths[idx] - 1) - (unit >> lengths[idx])
+                if kraft + gain <= unit:
+                    lengths[idx] -= 1
+                    kraft += gain
+                    improved = True
+    return lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values for the given lengths.
+
+    Symbols are ordered by (length, symbol index); codes within a length are
+    consecutive, and the first code of each length follows the Deflate
+    recurrence ``code[l] = (code[l-1] + count[l-1]) << 1``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    if lengths.min() < 1:
+        raise ValueError("all code lengths must be >= 1")
+    max_len = int(lengths.max())
+    counts = np.bincount(lengths, minlength=max_len + 1)
+    first = np.zeros(max_len + 2, dtype=np.int64)
+    code = 0
+    for length in range(1, max_len + 1):
+        code = (code + counts[length - 1]) << 1
+        first[length] = code
+    order = np.lexsort((np.arange(lengths.size), lengths))
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    # Rank of each symbol within its length class, in canonical order.
+    sorted_lengths = lengths[order]
+    boundaries = np.flatnonzero(np.diff(sorted_lengths)) + 1
+    rank = np.arange(lengths.size) - np.repeat(
+        np.concatenate([[0], boundaries]), np.diff(np.concatenate([[0], boundaries, [lengths.size]]))
+    )
+    codes[order] = (first[sorted_lengths] + rank).astype(np.uint64)
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanCodebook:
+    """Canonical codebook over a dense alphabet ``[0, n)``."""
+
+    lengths: np.ndarray  # int64, per dense symbol
+    codes: np.ndarray  # uint64, per dense symbol
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def expected_bits(self, freqs: np.ndarray) -> float:
+        """Average code length in bits under the given frequencies."""
+        freqs = np.asarray(freqs, dtype=np.float64)
+        return float((freqs * self.lengths).sum() / freqs.sum())
+
+    def peek_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat decode table of size ``2**max_length``.
+
+        Entry ``p`` holds the (symbol, length) whose code prefixes the
+        ``max_length``-bit window ``p``.
+        """
+        max_len = self.max_length
+        size = 1 << max_len
+        table_sym = np.zeros(size, dtype=np.int64)
+        table_len = np.zeros(size, dtype=np.int64)
+        for sym, (code, length) in enumerate(zip(self.codes, self.lengths)):
+            lo = int(code) << (max_len - int(length))
+            hi = (int(code) + 1) << (max_len - int(length))
+            table_sym[lo:hi] = sym
+            table_len[lo:hi] = length
+        return table_sym, table_len
+
+
+def build_codebook(freqs: np.ndarray, max_length: int = DEFAULT_MAX_CODE_LENGTH) -> HuffmanCodebook:
+    """Build a canonical, length-limited codebook from symbol frequencies."""
+    lengths = huffman_code_lengths(freqs)
+    lengths = limit_code_lengths(lengths, freqs, max_length)
+    return HuffmanCodebook(lengths=lengths, codes=canonical_codes(lengths))
+
+
+@dataclass(frozen=True)
+class HuffmanEncoded:
+    """An entropy-coded symbol stream plus decode metadata."""
+
+    payload: np.ndarray  # uint8 bitstream
+    code_lengths: np.ndarray  # per dense symbol, rebuildable codebook
+    chunk_bit_offsets: np.ndarray  # uint64, start bit of each chunk
+    chunk_symbol_counts: np.ndarray  # int64
+    total_symbols: int
+
+
+def huffman_encode(
+    symbols: np.ndarray,
+    alphabet_size: int,
+    *,
+    max_code_length: int = DEFAULT_MAX_CODE_LENGTH,
+    chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+) -> HuffmanEncoded:
+    """Entropy-code a dense symbol stream in independently decodable chunks.
+
+    ``symbols`` must be integers in ``[0, alphabet_size)``.  Symbols that do
+    not occur get no code; the shipped length table marks them with 0.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    if symbols.size and (symbols.min() < 0 or symbols.max() >= alphabet_size):
+        raise ValueError(
+            f"symbols out of range [0, {alphabet_size}): [{symbols.min()}, {symbols.max()}]"
+        )
+    if chunk_symbols < 1:
+        raise ValueError(f"chunk_symbols must be >= 1, got {chunk_symbols}")
+    if symbols.size == 0:
+        return HuffmanEncoded(
+            payload=np.zeros(0, dtype=np.uint8),
+            code_lengths=np.zeros(alphabet_size, dtype=np.int64),
+            chunk_bit_offsets=np.zeros(0, dtype=np.uint64),
+            chunk_symbol_counts=np.zeros(0, dtype=np.int64),
+            total_symbols=0,
+        )
+    freqs = np.bincount(symbols, minlength=alphabet_size)
+    used = np.flatnonzero(freqs)
+    if used.size == 1:
+        # Degenerate single-symbol stream (e.g. a fully homogenized batch):
+        # the code table alone identifies the symbol, no payload bits needed.
+        lengths = np.zeros(alphabet_size, dtype=np.int64)
+        lengths[used[0]] = 1
+        n_chunks = (symbols.size + chunk_symbols - 1) // chunk_symbols
+        chunk_counts = np.full(n_chunks, chunk_symbols, dtype=np.int64)
+        chunk_counts[-1] = symbols.size - chunk_symbols * (n_chunks - 1)
+        return HuffmanEncoded(
+            payload=np.zeros(0, dtype=np.uint8),
+            code_lengths=lengths,
+            chunk_bit_offsets=np.zeros(n_chunks, dtype=np.uint64),
+            chunk_symbol_counts=chunk_counts,
+            total_symbols=symbols.size,
+        )
+    dense_book = build_codebook(freqs[used], max_code_length)
+    # Scatter dense codebook back onto the full alphabet (length 0 = unused).
+    lengths = np.zeros(alphabet_size, dtype=np.int64)
+    codes = np.zeros(alphabet_size, dtype=np.uint64)
+    lengths[used] = dense_book.lengths
+    codes[used] = dense_book.codes
+    sym_codes = codes[symbols]
+    sym_lengths = lengths[symbols]
+    # Chunk boundaries in symbol space; bit offsets come from the cumsum.
+    n_chunks = (symbols.size + chunk_symbols - 1) // chunk_symbols
+    chunk_counts = np.full(n_chunks, chunk_symbols, dtype=np.int64)
+    chunk_counts[-1] = symbols.size - chunk_symbols * (n_chunks - 1)
+    bit_ends = np.cumsum(sym_lengths)
+    chunk_starts_sym = np.arange(n_chunks, dtype=np.int64) * chunk_symbols
+    chunk_bit_offsets = np.where(
+        chunk_starts_sym == 0, 0, bit_ends[chunk_starts_sym - 1]
+    ).astype(np.uint64)
+    packed, _total_bits = pack_codes(sym_codes, sym_lengths)
+    return HuffmanEncoded(
+        payload=packed,
+        code_lengths=lengths,
+        chunk_bit_offsets=chunk_bit_offsets,
+        chunk_symbol_counts=chunk_counts,
+        total_symbols=symbols.size,
+    )
+
+
+def _sliding_windows(padded: np.ndarray, start_bit: int, count: int, width: int) -> np.ndarray:
+    """``width``-bit big-endian windows at every bit offset in
+    ``[start_bit, start_bit + count)``.  ``padded`` must carry >= 8 slack
+    bytes past the last window."""
+    positions = start_bit + np.arange(count, dtype=np.int64)
+    byte_start = positions >> 3
+    gathered = np.zeros(count, dtype=np.uint64)
+    for k in range(8):
+        gathered = (gathered << np.uint64(8)) | padded[byte_start + k].astype(np.uint64)
+    shift = np.uint64(64) - (positions & 7).astype(np.uint64) - np.uint64(width)
+    return (gathered >> shift) & np.uint64((1 << width) - 1)
+
+
+def huffman_decode(encoded: HuffmanEncoded) -> np.ndarray:
+    """Decode a :class:`HuffmanEncoded` stream back to dense symbols.
+
+    Chunks are decoded independently (the Python analogue of the paper's
+    parallel chunk decompression).  Within a chunk, decoding uses the
+    *gap-array* technique of GPU Huffman decoders: speculative peek-table
+    lookups at **every** bit offset are computed vectorized, after which the
+    only sequential work is following the jump chain ``pos += length[pos]``.
+    """
+    if encoded.total_symbols == 0:
+        return np.zeros(0, dtype=np.int64)
+    lengths = encoded.code_lengths
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        raise ValueError("corrupt stream: no symbols have codes")
+    if used.size == 1:
+        # Mirror of the encoder's single-symbol fast path.
+        return np.full(encoded.total_symbols, int(used[0]), dtype=np.int64)
+    dense_book = HuffmanCodebook(
+        lengths=lengths[used], codes=canonical_codes(lengths[used])
+    )
+    max_len = dense_book.max_length
+    table_sym_np, table_len_np = dense_book.peek_table()
+    table_sym_np = used[table_sym_np]
+    padded = np.concatenate([encoded.payload, np.zeros(8, dtype=np.uint8)])
+    n_chunks = encoded.chunk_bit_offsets.size
+    total_bits = encoded.payload.size * 8
+    out: list[int] = []
+    for chunk_idx in range(n_chunks):
+        start = int(encoded.chunk_bit_offsets[chunk_idx])
+        count = int(encoded.chunk_symbol_counts[chunk_idx])
+        end = (
+            int(encoded.chunk_bit_offsets[chunk_idx + 1])
+            if chunk_idx + 1 < n_chunks
+            else total_bits
+        )
+        span = max(end - start, 1)
+        windows = _sliding_windows(padded, start, span, max_len)
+        # Speculative decode at every bit offset; then walk the jump chain.
+        syms = table_sym_np[windows].tolist()
+        steps = table_len_np[windows].tolist()
+        pos = 0
+        append = out.append
+        for _ in range(count):
+            append(syms[pos])
+            step = steps[pos]
+            if step == 0:  # only reachable on corrupt payloads (Kraft < 1 gap)
+                raise ValueError("corrupt Huffman stream: peek hit an unassigned code")
+            pos += step
+    return np.asarray(out, dtype=np.int64)

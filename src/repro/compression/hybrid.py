@@ -1,0 +1,90 @@
+"""The paper's hybrid error-bounded compressor.
+
+Quantization feeds one of two lossless encoders — vector-based LZ or
+optimized Huffman — chosen per embedding table.  Two selection modes:
+
+* ``encoder="auto"`` (default): try both and keep the smaller payload.
+  This is what Table V's "hybrid" column reports (the per-table max ratio).
+* ``encoder="lz"`` / ``encoder="huffman"``: pinned choice, as produced by the
+  offline analysis (Algorithm 2 selects per table using the Eq.-2 speedup
+  model, which also weighs throughput; see
+  :mod:`repro.adaptive.selection`).
+
+The payload embeds which encoder won, so decompression is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.compression.base import Compressor, parse_payload
+from repro.compression.entropy import EntropyCompressor
+from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
+
+__all__ = ["HybridCompressor"]
+
+_ENCODERS = ("auto", "lz", "huffman")
+
+
+class HybridCompressor(Compressor):
+    """Quantize + {vector-LZ | Huffman}, per-table selectable ("Ours")."""
+
+    name = "hybrid"
+    lossy = True
+    error_bounded = True
+
+    def __init__(
+        self,
+        encoder: str = "auto",
+        window: int = DEFAULT_WINDOW,
+        max_code_length: int | None = None,
+        chunk_symbols: int | None = None,
+    ):
+        if encoder not in _ENCODERS:
+            raise ValueError(f"encoder must be one of {_ENCODERS}, got {encoder!r}")
+        self.encoder = encoder
+        self._lz = VectorLZCompressor(window=window)
+        entropy_kwargs = {}
+        if max_code_length is not None:
+            entropy_kwargs["max_code_length"] = max_code_length
+        if chunk_symbols is not None:
+            entropy_kwargs["chunk_symbols"] = chunk_symbols
+        self._entropy = EntropyCompressor(**entropy_kwargs)
+
+    @property
+    def window(self) -> int:
+        return self._lz.window
+
+    def compress(self, array: np.ndarray, error_bound: float | None = None) -> bytes:
+        array = np.ascontiguousarray(array)
+        if array.ndim != 2:
+            raise ValueError(f"hybrid: expected 2-D (batch, dim) array, got shape {array.shape}")
+        if error_bound is None or not error_bound > 0:
+            raise ValueError(f"hybrid: requires a positive error_bound, got {error_bound!r}")
+        candidates = []
+        if self.encoder in ("auto", "lz"):
+            candidates.append(self._lz.compress(array, error_bound))
+        if self.encoder in ("auto", "huffman"):
+            candidates.append(self._entropy.compress(array, error_bound))
+        return min(candidates, key=len)
+
+    def decompress(self, payload: bytes | memoryview) -> np.ndarray:
+        header, _body = parse_payload(payload)
+        inner = header["codec"]
+        if inner == self._lz.name:
+            return self._lz.decompress(payload)
+        if inner == self._entropy.name:
+            return self._entropy.decompress(payload)
+        raise ValueError(f"hybrid: unknown inner codec {inner!r}")
+
+    # The public compress/decompress are overridden wholesale (the payload is
+    # delegated to the winning sub-codec), so the body hooks are unused.
+    def _compress_body(self, array: np.ndarray, error_bound: float | None) -> tuple[dict[str, Any], bytes]:
+        raise NotImplementedError("HybridCompressor delegates framing to its sub-codecs")
+
+    def _decompress_body(
+        self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        raise NotImplementedError("HybridCompressor delegates framing to its sub-codecs")

@@ -1,0 +1,130 @@
+"""Compression metrics: ratios, error statistics, and the Eq.-2 speedup model.
+
+The paper selects the per-table encoder not by ratio alone but by the
+estimated end-to-end communication speedup (its Equation 2)::
+
+    speedup = 1 / (1/CR + B * (1/Tc + 1/Td))
+
+where ``CR`` is the compression ratio, ``B`` the network bandwidth and
+``Tc``/``Td`` the compression/decompression throughputs (all in bytes/s):
+sending ``N`` bytes takes ``N/(CR*B) + N/Tc + N/Td`` instead of ``N/B``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "compression_ratio",
+    "communication_speedup",
+    "max_abs_error",
+    "verify_error_bound",
+    "CodecEvaluation",
+    "evaluate_codec",
+]
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Original over compressed size; > 1 means the codec helped."""
+    check_positive("original_nbytes", original_nbytes)
+    check_positive("compressed_nbytes", compressed_nbytes)
+    return original_nbytes / compressed_nbytes
+
+
+def communication_speedup(
+    ratio: float,
+    bandwidth: float,
+    compress_throughput: float,
+    decompress_throughput: float,
+) -> float:
+    """Equation (2): end-to-end communication speedup of compressed transfer.
+
+    All throughputs and the bandwidth share units (e.g. bytes/s).  A result
+    below 1.0 means compression slows communication down for this setting —
+    Algorithm 2 uses exactly this to reject a codec.
+    """
+    check_positive("ratio", ratio)
+    check_positive("bandwidth", bandwidth)
+    check_positive("compress_throughput", compress_throughput)
+    check_positive("decompress_throughput", decompress_throughput)
+    denominator = 1.0 / ratio + bandwidth * (
+        1.0 / compress_throughput + 1.0 / decompress_throughput
+    )
+    return 1.0 / denominator
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest pointwise absolute error between two arrays."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(f"shape mismatch: {original.shape} vs {reconstructed.shape}")
+    if original.size == 0:
+        return 0.0
+    return float(np.abs(original - reconstructed).max())
+
+
+def verify_error_bound(
+    original: np.ndarray, reconstructed: np.ndarray, error_bound: float, *, ulp_slack: float = 4.0
+) -> bool:
+    """Check the pointwise bound with a small float32-cast slack.
+
+    Reconstruction is computed in float64 then cast to the input dtype; the
+    cast can add up to half an ULP, so the check allows ``ulp_slack`` ULPs of
+    the largest magnitude involved.
+    """
+    check_positive("error_bound", error_bound)
+    slack = ulp_slack * np.finfo(np.float32).eps * max(
+        1.0, float(np.abs(original).max()) if np.asarray(original).size else 0.0
+    )
+    return max_abs_error(original, reconstructed) <= error_bound + slack
+
+
+@dataclass(frozen=True)
+class CodecEvaluation:
+    """Measured behaviour of one codec on one batch."""
+
+    codec: str
+    ratio: float
+    max_error: float
+    compress_seconds: float
+    decompress_seconds: float
+    original_nbytes: int
+    compressed_nbytes: int
+
+    @property
+    def compress_throughput(self) -> float:
+        """Measured wall-clock compression throughput, bytes/s."""
+        return self.original_nbytes / max(self.compress_seconds, 1e-12)
+
+    @property
+    def decompress_throughput(self) -> float:
+        """Measured wall-clock decompression throughput, bytes/s."""
+        return self.original_nbytes / max(self.decompress_seconds, 1e-12)
+
+
+def evaluate_codec(
+    compressor: Compressor, array: np.ndarray, error_bound: float | None = None
+) -> CodecEvaluation:
+    """Round-trip ``array`` through ``compressor`` and measure everything."""
+    array = np.ascontiguousarray(array)
+    t0 = time.perf_counter()
+    payload = compressor.compress(array, error_bound)
+    t1 = time.perf_counter()
+    reconstructed = compressor.decompress(payload)
+    t2 = time.perf_counter()
+    return CodecEvaluation(
+        codec=compressor.name,
+        ratio=compression_ratio(array.nbytes, len(payload)),
+        max_error=max_abs_error(array, reconstructed),
+        compress_seconds=t1 - t0,
+        decompress_seconds=t2 - t1,
+        original_nbytes=array.nbytes,
+        compressed_nbytes=len(payload),
+    )

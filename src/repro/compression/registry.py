@@ -1,0 +1,73 @@
+"""Compressor registry: construct codecs by name, decode any payload.
+
+The offline analysis (Algorithm 2) and the benchmark harness refer to
+compressors by name; payloads are self-describing, so the registry can also
+route an arbitrary payload to the codec that produced it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.compression.base import Compressor, parse_payload
+from repro.compression.baselines import (
+    CuszLikeCompressor,
+    DeflateLikeCompressor,
+    Fp8Compressor,
+    Fp16Compressor,
+    FzGpuLikeCompressor,
+    Lz4LikeCompressor,
+    ZfpLikeCompressor,
+)
+from repro.compression.entropy import EntropyCompressor
+from repro.compression.hybrid import HybridCompressor
+from repro.compression.vector_lz import VectorLZCompressor
+
+__all__ = ["register_compressor", "get_compressor", "available_compressors", "decompress_any"]
+
+_FACTORIES: dict[str, Callable[..., Compressor]] = {
+    HybridCompressor.name: HybridCompressor,
+    VectorLZCompressor.name: VectorLZCompressor,
+    EntropyCompressor.name: EntropyCompressor,
+    Fp16Compressor.name: Fp16Compressor,
+    Fp8Compressor.name: Fp8Compressor,
+    Lz4LikeCompressor.name: Lz4LikeCompressor,
+    DeflateLikeCompressor.name: DeflateLikeCompressor,
+    CuszLikeCompressor.name: CuszLikeCompressor,
+    FzGpuLikeCompressor.name: FzGpuLikeCompressor,
+    ZfpLikeCompressor.name: ZfpLikeCompressor,
+}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a codec factory under ``name`` (error on collision)."""
+    if name in _FACTORIES:
+        raise ValueError(f"compressor {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def get_compressor(name: str, **kwargs: object) -> Compressor:
+    """Construct a compressor by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_compressors() -> tuple[str, ...]:
+    """All registered codec names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def decompress_any(payload: bytes | memoryview) -> np.ndarray:
+    """Decode a payload produced by any registered codec."""
+    header, _ = parse_payload(payload)
+    codec = header["codec"]
+    if codec not in _FACTORIES:
+        raise KeyError(f"payload codec {codec!r} is not registered")
+    return _FACTORIES[codec]().decompress(payload)

@@ -1,0 +1,157 @@
+"""Compact binary serialization for compressor headers.
+
+Every codec in this library produces a *self-describing* byte payload:
+the compressed ratio accounting includes the real header cost, not just the
+entropy-coded body.  Headers are dictionaries of simple typed values packed
+with a small tag-length-value format:
+
+==========  =============================================
+tag         value encoding
+==========  =============================================
+``I``       signed integer, zig-zag varint
+``F``       float64, 8 bytes little-endian
+``S``       UTF-8 string, varint length prefix
+``B``       raw bytes, varint length prefix
+``A``       ndarray: dtype string, ndim, shape, raw bytes
+==========  =============================================
+
+Keys are packed as varint-length-prefixed UTF-8.  The format is sequential
+and order-preserving; no alignment padding.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+__all__ = ["pack_meta", "unpack_meta", "write_varint", "read_varint"]
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes | memoryview, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint at ``pos``; return ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= -(2**63) else (value << 1) ^ -1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _pack_value(out: bytearray, value: Any) -> None:
+    if isinstance(value, bool):
+        raise TypeError("bool meta values are ambiguous; use int 0/1")
+    if isinstance(value, (int, np.integer)):
+        out.append(ord("I"))
+        write_varint(out, _zigzag(int(value)))
+    elif isinstance(value, (float, np.floating)):
+        out.append(ord("F"))
+        out.extend(struct.pack("<d", float(value)))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(ord("S"))
+        write_varint(out, len(encoded))
+        out.extend(encoded)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(ord("B"))
+        write_varint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(value, np.ndarray):
+        out.append(ord("A"))
+        dtype_str = value.dtype.str.encode("ascii")
+        write_varint(out, len(dtype_str))
+        out.extend(dtype_str)
+        write_varint(out, value.ndim)
+        for dim in value.shape:
+            write_varint(out, dim)
+        raw = np.ascontiguousarray(value).tobytes()
+        write_varint(out, len(raw))
+        out.extend(raw)
+    else:
+        raise TypeError(f"unsupported meta value type: {type(value).__name__}")
+
+
+def _unpack_value(data: memoryview, pos: int) -> tuple[Any, int]:
+    tag = chr(data[pos])
+    pos += 1
+    if tag == "I":
+        raw, pos = read_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == "F":
+        (value,) = struct.unpack_from("<d", data, pos)
+        return value, pos + 8
+    if tag == "S":
+        length, pos = read_varint(data, pos)
+        return bytes(data[pos : pos + length]).decode("utf-8"), pos + length
+    if tag == "B":
+        length, pos = read_varint(data, pos)
+        return bytes(data[pos : pos + length]), pos + length
+    if tag == "A":
+        dlen, pos = read_varint(data, pos)
+        dtype = np.dtype(bytes(data[pos : pos + dlen]).decode("ascii"))
+        pos += dlen
+        ndim, pos = read_varint(data, pos)
+        shape = []
+        for _ in range(ndim):
+            dim, pos = read_varint(data, pos)
+            shape.append(dim)
+        blen, pos = read_varint(data, pos)
+        array = np.frombuffer(data[pos : pos + blen], dtype=dtype).reshape(shape).copy()
+        return array, pos + blen
+    raise ValueError(f"unknown meta tag {tag!r}")
+
+
+def pack_meta(meta: dict[str, Any]) -> bytes:
+    """Serialize a header dictionary to compact bytes."""
+    out = bytearray()
+    write_varint(out, len(meta))
+    for key, value in meta.items():
+        encoded_key = key.encode("utf-8")
+        write_varint(out, len(encoded_key))
+        out.extend(encoded_key)
+        _pack_value(out, value)
+    return bytes(out)
+
+
+def unpack_meta(data: bytes | memoryview, pos: int = 0) -> tuple[dict[str, Any], int]:
+    """Deserialize a header at ``pos``; return ``(meta, new_pos)``."""
+    view = memoryview(data)
+    count, pos = read_varint(view, pos)
+    meta: dict[str, Any] = {}
+    for _ in range(count):
+        klen, pos = read_varint(view, pos)
+        key = bytes(view[pos : pos + klen]).decode("utf-8")
+        pos += klen
+        meta[key], pos = _unpack_value(view, pos)
+    return meta, pos

@@ -1,0 +1,6 @@
+"""DLRM model."""
+
+from repro.model.config import DLRMConfig
+from repro.model.dlrm import DLRM
+
+__all__ = ["DLRMConfig", "DLRM"]

@@ -1,0 +1,64 @@
+"""DLRM dot-product feature interaction.
+
+Stacks the bottom-MLP output with the embedding lookups into
+``Z in R^{batch x (T+1) x dim}``, computes all pairwise dot products
+``P = Z Z^T``, and concatenates the strictly-lower-triangular entries of
+``P`` with the dense vector — the second-order interaction of the DLRM
+paper (Naumov et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DotInteraction"]
+
+
+class DotInteraction:
+    """Pairwise dot interaction with manual backward."""
+
+    def __init__(self, n_features: int, dim: int):
+        if n_features < 1 or dim < 1:
+            raise ValueError(f"n_features and dim must be >= 1, got {n_features}, {dim}")
+        self.n_features = int(n_features)  # T+1 (dense slot + T tables)
+        self.dim = int(dim)
+        rows, cols = np.tril_indices(self.n_features, k=-1)
+        self._rows = rows
+        self._cols = cols
+        self._cache: np.ndarray | None = None
+
+    @property
+    def output_dim(self) -> int:
+        """dense dim + number of pairwise terms."""
+        return self.dim + self.n_features * (self.n_features - 1) // 2
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        """``z``: (batch, n_features, dim) -> (batch, output_dim)."""
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 3 or z.shape[1] != self.n_features or z.shape[2] != self.dim:
+            raise ValueError(
+                f"expected (batch, {self.n_features}, {self.dim}), got {z.shape}"
+            )
+        self._cache = z
+        products = np.einsum("bij,bkj->bik", z, z)
+        pairs = products[:, self._rows, self._cols]
+        return np.concatenate([z[:, 0, :], pairs], axis=1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. ``z`` given gradient of the concatenated output."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        z = self._cache
+        batch = z.shape[0]
+        if dout.shape != (batch, self.output_dim):
+            raise ValueError(f"expected dout ({batch}, {self.output_dim}), got {dout.shape}")
+        d_dense = dout[:, : self.dim]
+        d_pairs = dout[:, self.dim :]
+        # Scatter pair grads into the (symmetric) dP matrix.
+        dP = np.zeros((batch, self.n_features, self.n_features))
+        dP[:, self._rows, self._cols] = d_pairs
+        # P = Z Z^T with only lower-tri read; dZ = (dP + dP^T) Z.
+        dz = np.einsum("bik,bkj->bij", dP + dP.transpose(0, 2, 1), z)
+        dz[:, 0, :] += d_dense
+        self._cache = None
+        return dz

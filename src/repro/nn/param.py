@@ -1,0 +1,34 @@
+"""Parameter container for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Layers accumulate into ``grad`` during ``backward``; optimizers consume
+    and reset it.  Data is always float64 internally for stable gradient
+    checks; lookup outputs are cast to float32 at the communication edge,
+    matching the paper's setting where the wire format is float32.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(name={self.name!r}, shape={self.shape})"

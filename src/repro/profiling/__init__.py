@@ -1,0 +1,17 @@
+"""Profiling and breakdown reporting."""
+
+from repro.profiling.breakdown import (
+    CATEGORY_LABELS,
+    SpeedupSummary,
+    breakdown_report,
+    breakdown_rows,
+    compare_runs,
+)
+
+__all__ = [
+    "CATEGORY_LABELS",
+    "breakdown_rows",
+    "breakdown_report",
+    "SpeedupSummary",
+    "compare_runs",
+]

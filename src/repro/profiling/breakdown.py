@@ -1,0 +1,114 @@
+"""Training-time breakdown reports (Fig. 1 and Fig. 12 style).
+
+Turns a :class:`~repro.dist.timeline.Timeline` (or a category->seconds
+mapping) into the stacked-fraction rows the paper plots, and compares a
+baseline run against a compressed run for the end-to-end speedup numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dist.timeline import EventCategory, Timeline
+from repro.utils.tables import format_table
+
+__all__ = ["CATEGORY_LABELS", "breakdown_rows", "breakdown_report", "SpeedupSummary", "compare_runs"]
+
+CATEGORY_LABELS: dict[str, str] = {
+    EventCategory.BOTTOM_MLP_FWD: "Bottom MLP (fwd)",
+    EventCategory.EMB_LOOKUP: "Embedding lookup",
+    EventCategory.COMPRESS: "Compression",
+    EventCategory.METADATA: "Metadata all-to-all",
+    EventCategory.ALLTOALL_FWD: "All-to-all (fwd)",
+    EventCategory.DECOMPRESS: "Decompression",
+    EventCategory.INTERACTION_FWD: "Interaction (fwd)",
+    EventCategory.TOP_MLP_FWD: "Top MLP (fwd)",
+    EventCategory.TOP_MLP_BWD: "Top MLP (bwd)",
+    EventCategory.INTERACTION_BWD: "Interaction (bwd)",
+    EventCategory.ALLTOALL_BWD: "All-to-all (bwd)",
+    EventCategory.EMB_UPDATE: "Embedding update",
+    EventCategory.BOTTOM_MLP_BWD: "Bottom MLP (bwd)",
+    EventCategory.ALLREDUCE: "All-reduce (dense)",
+    EventCategory.OPTIMIZER: "Optimizer step",
+}
+
+#: display order for breakdown tables (forward pass, backward pass, sync)
+_ORDER = list(CATEGORY_LABELS)
+
+
+def breakdown_rows(category_seconds: dict[str, float]) -> list[tuple[str, float, float]]:
+    """(label, seconds, fraction) rows in canonical order."""
+    total = sum(category_seconds.values())
+    rows = []
+    for category in _ORDER:
+        seconds = category_seconds.get(category, 0.0)
+        if seconds == 0.0:
+            continue
+        fraction = seconds / total if total else 0.0
+        rows.append((CATEGORY_LABELS[category], seconds, fraction))
+    # Any custom categories the canonical list does not know about.
+    for category, seconds in category_seconds.items():
+        if category not in CATEGORY_LABELS and seconds > 0:
+            rows.append((category, seconds, seconds / total if total else 0.0))
+    return rows
+
+
+def breakdown_report(
+    source: Timeline | dict[str, float], title: str = "Training-time breakdown", rank: int | None = 0
+) -> str:
+    """Render the per-category breakdown as an ASCII table."""
+    if isinstance(source, Timeline):
+        category_seconds = source.total_by_category(rank=rank)
+    else:
+        category_seconds = dict(source)
+    rows = [
+        (label, f"{seconds * 1e3:.3f} ms", f"{fraction * 100:.1f}%")
+        for label, seconds, fraction in breakdown_rows(category_seconds)
+    ]
+    comm = sum(
+        category_seconds.get(c, 0.0) for c in EventCategory.COMMUNICATION
+    )
+    total = sum(category_seconds.values())
+    rows.append(("TOTAL", f"{total * 1e3:.3f} ms", "100.0%"))
+    rows.append(
+        ("  of which communication", f"{comm * 1e3:.3f} ms", f"{100 * comm / total if total else 0:.1f}%")
+    )
+    return format_table(["Stage", "Time", "Share"], rows, title=title)
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """End-to-end and communication speedups between two runs."""
+
+    baseline_total: float
+    optimized_total: float
+    baseline_comm: float
+    optimized_comm: float
+
+    @property
+    def end_to_end(self) -> float:
+        return self.baseline_total / self.optimized_total
+
+    @property
+    def communication(self) -> float:
+        """Forward-exchange speedup: baseline all-to-all vs compressed
+        pipeline (compress + metadata + payload + decompress)."""
+        return self.baseline_comm / self.optimized_comm
+
+
+def compare_runs(
+    baseline: dict[str, float], optimized: dict[str, float]
+) -> SpeedupSummary:
+    """Fig. 12's headline numbers from two category->seconds mappings."""
+    pipeline_categories = (
+        EventCategory.ALLTOALL_FWD,
+        EventCategory.METADATA,
+        EventCategory.COMPRESS,
+        EventCategory.DECOMPRESS,
+    )
+    return SpeedupSummary(
+        baseline_total=sum(baseline.values()),
+        optimized_total=sum(optimized.values()),
+        baseline_comm=baseline.get(EventCategory.ALLTOALL_FWD, 0.0),
+        optimized_comm=sum(optimized.get(c, 0.0) for c in pipeline_categories),
+    )

@@ -1,0 +1,21 @@
+"""Training: reference (single process) and hybrid-parallel (simulated)."""
+
+from repro.train.hybrid import HybridParallelTrainer, HybridTrainingReport
+from repro.train.metrics import TrainingHistory, binary_accuracy, roc_auc
+from repro.train.pipeline import CompressionPipeline, TransferStats
+from repro.train.reference import LookupTransform, ReferenceTrainer, evaluate_model
+from repro.train.sharding import ShardingPlan
+
+__all__ = [
+    "binary_accuracy",
+    "roc_auc",
+    "TrainingHistory",
+    "CompressionPipeline",
+    "TransferStats",
+    "ReferenceTrainer",
+    "LookupTransform",
+    "evaluate_model",
+    "ShardingPlan",
+    "HybridParallelTrainer",
+    "HybridTrainingReport",
+]

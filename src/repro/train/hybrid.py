@@ -1,0 +1,366 @@
+"""Hybrid-parallel DLRM training over the cluster simulator.
+
+Reproduces the paper's training system (Section II-A): embedding tables are
+*model parallel* (each rank owns a table subset and looks up the **global**
+batch for its tables), MLPs are *data parallel* (each rank handles its
+sub-batch; gradients are all-reduced).  The forward all-to-all redistributes
+per-table lookups from table owners to sub-batch owners; the backward
+all-to-all returns the lookup gradients.
+
+With a :class:`~repro.train.pipeline.CompressionPipeline`, the forward
+exchange runs the paper's 4-stage compressed pipeline: per-slice
+compression under the dual-level adaptive controller, a metadata all-to-all
+(stage ②, needed because error-bounded payloads have variable size), the
+payload all-to-all, and per-slice decompression.
+
+**Numerics vs. timing.**  All ranks of the simulation share one
+:class:`~repro.model.dlrm.DLRM` parameter set: replicated data-parallel
+MLPs with all-reduced gradients are numerically identical to a single copy
+trained on the global batch, and each sharded table has exactly one owner.
+What the receivers see — decompressed lookups — is computed for real, so
+accuracy effects are exact; compute and communication *times* are charged
+to per-rank clocks through the GPU/network cost models, with byte counts
+taken from the actual compressed payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticClickDataset
+from repro.dist.comm import Communicator
+from repro.dist.simulator import ClusterSimulator
+from repro.dist.timeline import EventCategory, Timeline
+from repro.model.dlrm import DLRM
+from repro.nn.loss import bce_grad, bce_with_logits
+from repro.nn.optim import SGD, Adagrad
+from repro.train.metrics import TrainingHistory
+from repro.train.pipeline import CompressionPipeline
+from repro.train.reference import evaluate_model
+from repro.train.sharding import ShardingPlan
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["HybridParallelTrainer", "HybridTrainingReport"]
+
+
+@dataclass
+class HybridTrainingReport:
+    """Outcome of a simulated hybrid-parallel run."""
+
+    history: TrainingHistory
+    timeline: Timeline
+    makespan: float
+    n_iterations: int
+    global_batch_size: int
+    n_ranks: int
+    forward_wire_bytes: int  # bytes actually sent in forward all-to-alls
+    forward_raw_bytes: int  # what uncompressed forward all-to-alls would send
+    category_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def iteration_seconds(self) -> float:
+        return self.makespan / max(1, self.n_iterations)
+
+    @property
+    def forward_compression_ratio(self) -> float:
+        """Overall forward-exchange data reduction."""
+        return self.forward_raw_bytes / max(1, self.forward_wire_bytes)
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        total = sum(self.category_seconds.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.category_seconds.items())}
+
+
+class HybridParallelTrainer:
+    """SPMD driver for hybrid-parallel DLRM over the simulator."""
+
+    def __init__(
+        self,
+        model: DLRM,
+        dataset: SyntheticClickDataset,
+        simulator: ClusterSimulator,
+        pipeline: CompressionPipeline | None = None,
+        lr: float = 0.1,
+        optimizer: str = "sgd",
+        sharding: ShardingPlan | None = None,
+    ):
+        check_positive("lr", lr)
+        check_in("optimizer", optimizer, ("sgd", "adagrad"))
+        self.model = model
+        self.dataset = dataset
+        self.simulator = simulator
+        self.comm = Communicator(simulator)
+        self.pipeline = pipeline
+        n_tables = model.config.n_tables
+        self.sharding = sharding or ShardingPlan.size_balanced(
+            list(model.config.table_cardinalities), simulator.n_ranks
+        )
+        if self.sharding.n_tables != n_tables or self.sharding.n_ranks != simulator.n_ranks:
+            raise ValueError("sharding plan does not match model/simulator layout")
+        opt_cls = SGD if optimizer == "sgd" else Adagrad
+        self._opt = opt_cls(model.parameters(), lr=lr)
+        self._mlp_param_bytes = int(
+            sum(p.data.size for p in model.mlp_parameters()) * 4
+        )
+        self.forward_wire_bytes = 0
+        self.forward_raw_bytes = 0
+
+    # ------------------------------------------------------------ internals
+
+    @property
+    def n_ranks(self) -> int:
+        return self.simulator.n_ranks
+
+    def _slices(self, batch_size: int) -> list[tuple[int, int]]:
+        local = batch_size // self.n_ranks
+        return [(r * local, (r + 1) * local) for r in range(self.n_ranks)]
+
+    def _charge_mlp(self, batch: int, sizes: tuple[int, ...], category: str, scale: float = 1.0) -> None:
+        gpu = self.simulator.gpu
+        for rank in range(self.n_ranks):
+            self.simulator.compute(rank, scale * gpu.mlp_time(batch, sizes), category)
+
+    def _forward_exchange(
+        self, sparse: np.ndarray, iteration: int
+    ) -> list[np.ndarray]:
+        """Lookup + stages ①-④; returns per-table full-batch lookup rows
+        (exactly what receivers reconstruct)."""
+        gpu = self.simulator.gpu
+        cfg = self.model.config
+        batch_size = sparse.shape[0]
+        slices = self._slices(batch_size)
+        local = batch_size // self.n_ranks
+
+        # Stage 0: every owner gathers its tables for the global batch.
+        raw_lookups: dict[int, np.ndarray] = {}
+        for rank in range(self.n_ranks):
+            owned = self.sharding.tables_of(rank)
+            if owned:
+                self.simulator.compute(
+                    rank,
+                    gpu.lookup_time(batch_size, cfg.embedding_dim, len(owned)),
+                    EventCategory.EMB_LOOKUP,
+                )
+            for table_id in owned:
+                raw_lookups[table_id] = self.model.lookup(table_id, sparse[:, table_id])
+
+        slice_bytes = local * cfg.embedding_dim * 4
+        raw_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        for table_id in range(cfg.n_tables):
+            raw_matrix[self.sharding.owner_of(table_id), :] += slice_bytes
+        self.forward_raw_bytes += int(raw_matrix.sum())
+
+        if self.pipeline is None:
+            self.simulator.collective(
+                self.simulator.network.all_to_all_time(raw_matrix),
+                EventCategory.ALLTOALL_FWD,
+            )
+            self.forward_wire_bytes += int(raw_matrix.sum())
+            return [raw_lookups[t] for t in range(cfg.n_tables)]
+
+        # Stage ①: compress per (owned table x destination slice).
+        payloads: dict[tuple[int, int], bytes] = {}  # (table, dst) -> payload
+        wire_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        meta_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        for rank in range(self.n_ranks):
+            chunks: list[tuple[str, int]] = []
+            for table_id in self.sharding.tables_of(rank):
+                rows = raw_lookups[table_id]
+                codec = self.pipeline.controller.compressor_name(table_id)
+                for dst, (lo, hi) in enumerate(slices):
+                    payload = self.pipeline.compress_slice(table_id, rows[lo:hi], iteration)
+                    payloads[(table_id, dst)] = payload
+                    wire_matrix[rank, dst] += len(payload)
+                    meta_matrix[rank, dst] += self.pipeline.metadata_bytes_per_entry
+                    chunks.append((codec, rows[lo:hi].nbytes))
+            if chunks:
+                self.simulator.compute(
+                    rank, self.pipeline.compression_seconds(chunks), EventCategory.COMPRESS
+                )
+
+        # Stage ②: metadata exchange (compressed sizes + codec ids).
+        self.simulator.collective(
+            self.simulator.network.all_to_all_time(meta_matrix), EventCategory.METADATA
+        )
+        # Stage ③: variable-size payload exchange.
+        self.simulator.collective(
+            self.simulator.network.all_to_all_time(wire_matrix), EventCategory.ALLTOALL_FWD
+        )
+        self.forward_wire_bytes += int(wire_matrix.sum())
+
+        # Stage ④: every receiver decompresses all tables for its slice.
+        reconstructed: list[np.ndarray] = []
+        for table_id in range(cfg.n_tables):
+            parts = [
+                self.pipeline.decompress_slice(payloads[(table_id, dst)])
+                for dst in range(self.n_ranks)
+            ]
+            reconstructed.append(np.concatenate(parts, axis=0))
+        for rank in range(self.n_ranks):
+            chunks = [
+                (self.pipeline.controller.compressor_name(t), slice_bytes)
+                for t in range(cfg.n_tables)
+            ]
+            self.simulator.compute(
+                rank, self.pipeline.decompression_seconds(chunks), EventCategory.DECOMPRESS
+            )
+        return reconstructed
+
+    def _backward_exchange(
+        self, sparse: np.ndarray, d_emb: list[np.ndarray], iteration: int
+    ) -> None:
+        """Gradient all-to-all (uncompressed unless the pipeline opts in) +
+        sparse accumulation at the table owners."""
+        gpu = self.simulator.gpu
+        cfg = self.model.config
+        batch_size = sparse.shape[0]
+        slices = self._slices(batch_size)
+        local = batch_size // self.n_ranks
+        slice_bytes = local * cfg.embedding_dim * 4
+
+        compress = self.pipeline is not None and self.pipeline.compress_backward
+        grad_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        grads_to_apply: list[np.ndarray] = list(d_emb)
+        if compress:
+            for src, (lo, hi) in enumerate(slices):
+                chunks: list[tuple[str, int]] = []
+                for table_id in range(cfg.n_tables):
+                    owner = self.sharding.owner_of(table_id)
+                    rows = np.ascontiguousarray(d_emb[table_id][lo:hi], dtype=np.float32)
+                    payload = self.pipeline.compress_slice(table_id, rows, iteration)
+                    grads_to_apply[table_id] = grads_to_apply[table_id].copy()
+                    grads_to_apply[table_id][lo:hi] = self.pipeline.decompress_slice(payload)
+                    grad_matrix[src, owner] += len(payload)
+                    chunks.append(
+                        (self.pipeline.controller.compressor_name(table_id), rows.nbytes)
+                    )
+                self.simulator.compute(
+                    src, self.pipeline.compression_seconds(chunks), EventCategory.COMPRESS
+                )
+        else:
+            for table_id in range(cfg.n_tables):
+                grad_matrix[:, self.sharding.owner_of(table_id)] += slice_bytes
+
+        self.simulator.collective(
+            self.simulator.network.all_to_all_time(grad_matrix), EventCategory.ALLTOALL_BWD
+        )
+        if compress:
+            for rank in range(self.n_ranks):
+                owned = self.sharding.tables_of(rank)
+                chunks = [
+                    (self.pipeline.controller.compressor_name(t), slice_bytes)
+                    for t in owned
+                    for _ in range(self.n_ranks)
+                ]
+                if chunks:
+                    self.simulator.compute(
+                        rank,
+                        self.pipeline.decompression_seconds(chunks),
+                        EventCategory.DECOMPRESS,
+                    )
+
+        for rank in range(self.n_ranks):
+            owned = self.sharding.tables_of(rank)
+            if owned:
+                self.simulator.compute(
+                    rank,
+                    gpu.lookup_time(batch_size, cfg.embedding_dim, len(owned)),
+                    EventCategory.EMB_UPDATE,
+                )
+            for table_id in owned:
+                self.model.accumulate_embedding_grad(
+                    table_id, sparse[:, table_id], grads_to_apply[table_id]
+                )
+
+    # -------------------------------------------------------------- public
+
+    def train_step(self, global_batch_size: int, iteration: int) -> float:
+        """One hybrid-parallel iteration; returns the global-batch loss."""
+        check_positive("global_batch_size", global_batch_size)
+        if global_batch_size % self.n_ranks:
+            raise ValueError(
+                f"global batch {global_batch_size} not divisible by {self.n_ranks} ranks"
+            )
+        cfg = self.model.config
+        gpu = self.simulator.gpu
+        local = global_batch_size // self.n_ranks
+        batch = self.dataset.batch(global_batch_size, batch_index=iteration)
+
+        # Forward: bottom MLP (data parallel) + embedding exchange.
+        self._charge_mlp(local, self.model.bottom_mlp.sizes, EventCategory.BOTTOM_MLP_FWD)
+        bottom_out = self.model.forward_dense(batch.dense)
+        emb_rows = self._forward_exchange(batch.sparse, iteration)
+        for rank in range(self.n_ranks):
+            self.simulator.compute(
+                rank,
+                gpu.interaction_time(local, cfg.interaction_features, cfg.embedding_dim),
+                EventCategory.INTERACTION_FWD,
+            )
+        self._charge_mlp(local, self.model.top_mlp.sizes, EventCategory.TOP_MLP_FWD)
+        logits = self.model.forward_interaction(bottom_out, emb_rows)
+        loss = bce_with_logits(logits, batch.labels)
+
+        # Backward: symmetric stages.
+        dlogits = bce_grad(logits, batch.labels)
+        self._charge_mlp(local, self.model.top_mlp.sizes, EventCategory.TOP_MLP_BWD, scale=2.0)
+        for rank in range(self.n_ranks):
+            self.simulator.compute(
+                rank,
+                2.0 * gpu.interaction_time(local, cfg.interaction_features, cfg.embedding_dim),
+                EventCategory.INTERACTION_BWD,
+            )
+        d_bottom, d_emb = self.model.backward_interaction(dlogits)
+        self._backward_exchange(batch.sparse, d_emb, iteration)
+        self._charge_mlp(local, self.model.bottom_mlp.sizes, EventCategory.BOTTOM_MLP_BWD, scale=2.0)
+        self.model.backward_dense(d_bottom)
+
+        # Dense gradient synchronization + update.
+        self.simulator.collective(
+            self.simulator.network.all_reduce_time(self._mlp_param_bytes, self.n_ranks),
+            EventCategory.ALLREDUCE,
+        )
+        param_bytes = sum(p.data.nbytes for p in self.model.parameters())
+        for rank in range(self.n_ranks):
+            self.simulator.compute(
+                rank,
+                gpu.memcpy_time(param_bytes / max(1, self.n_ranks)),
+                EventCategory.OPTIMIZER,
+            )
+        self._opt.step()
+        return loss
+
+    def train(
+        self,
+        n_iterations: int,
+        global_batch_size: int,
+        eval_every: int = 0,
+        eval_batch_size: int = 512,
+        eval_batches: int = 4,
+    ) -> HybridTrainingReport:
+        """Run the simulated training loop and collect the full report."""
+        check_positive("n_iterations", n_iterations)
+        history = TrainingHistory()
+        for iteration in range(n_iterations):
+            loss = self.train_step(global_batch_size, iteration)
+            history.record_loss(loss)
+            last = iteration == n_iterations - 1
+            if eval_every and (iteration % eval_every == eval_every - 1 or last):
+                accuracy, auc = evaluate_model(
+                    self.model, self.dataset, eval_batch_size, eval_batches
+                )
+                history.record_eval(iteration, accuracy, auc)
+        return HybridTrainingReport(
+            history=history,
+            timeline=self.simulator.timeline,
+            makespan=self.simulator.makespan(),
+            n_iterations=n_iterations,
+            global_batch_size=global_batch_size,
+            n_ranks=self.n_ranks,
+            forward_wire_bytes=self.forward_wire_bytes,
+            forward_raw_bytes=self.forward_raw_bytes,
+            category_seconds=self.simulator.timeline.total_by_category(rank=0),
+        )

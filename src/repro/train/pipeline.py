@@ -1,0 +1,224 @@
+"""The compressed all-to-all pipeline (Section III-A).
+
+The paper's training pipeline adds four stages around the embedding
+exchange: ① compress per-table/per-destination chunks on each device,
+② exchange compressed-size *metadata* (a small fixed-size all-to-all),
+③ exchange the variable-size payloads, ④ decompress on each receiver.
+
+:class:`CompressionPipeline` owns stages ① and ④: it applies the dual-level
+adaptive controller (per-table encoder + effective error bound at the
+current iteration), collects per-transfer statistics, and prices the
+modelled GPU cost of each stage — fused single-kernel compression per the
+paper's buffer optimization, or naive per-chunk kernels for ablations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.selection import PAPER_A100_PROFILE, DeviceThroughputProfile
+from repro.compression.buffer import BufferCostModel
+from repro.compression.entropy import EntropyCompressor
+from repro.compression.registry import decompress_any
+from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
+from repro.dist.gpu import A100_LIKE, GpuModel
+
+__all__ = ["TransferStats", "CompressionPipeline"]
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Accounting for one compressed table-slice transfer."""
+
+    iteration: int
+    table_id: int
+    codec: str
+    error_bound: float
+    original_nbytes: int
+    compressed_nbytes: int
+
+    @property
+    def ratio(self) -> float:
+        return self.original_nbytes / max(1, self.compressed_nbytes)
+
+
+@dataclass
+class CompressionPipeline:
+    """Stages ① and ④ of the compressed training pipeline.
+
+    Parameters
+    ----------
+    controller:
+        The dual-level adaptive controller (per-table codec + decayed
+        error bound).
+    profile:
+        Modelled device throughputs per codec (for simulated timing).
+    gpu:
+        GPU cost model used for kernel pricing.
+    fused_kernels:
+        ``True`` (default) prices stage ① as one fused kernel per codec —
+        the paper's buffer optimization; ``False`` prices naive per-chunk
+        kernels (the Fig. 15 ablation).
+    compress_backward:
+        Also compress the gradient all-to-all.  Off by default: the paper
+        compresses the forward exchange (Fig. 12).
+    """
+
+    controller: AdaptiveController
+    profile: DeviceThroughputProfile = field(default_factory=lambda: PAPER_A100_PROFILE)
+    gpu: GpuModel = field(default_factory=lambda: A100_LIKE)
+    window: int = DEFAULT_WINDOW
+    fused_kernels: bool = True
+    compress_backward: bool = False
+    #: metadata bytes exchanged per (pair, table): compressed size + codec id
+    metadata_bytes_per_entry: int = 16
+
+    def __post_init__(self) -> None:
+        self._codecs = {
+            "vector_lz": VectorLZCompressor(window=self.window),
+            "entropy": EntropyCompressor(),
+        }
+        self.stats: list[TransferStats] = []
+
+    # ------------------------------------------------------------ stage ①/④
+
+    def compress_slice(self, table_id: int, rows: np.ndarray, iteration: int) -> bytes:
+        """Compress one table's rows bound for one destination rank."""
+        codec_name = self.controller.compressor_name(table_id)
+        error_bound = self.controller.error_bound(table_id, iteration)
+        payload = self._codecs[codec_name].compress(rows, error_bound)
+        self.stats.append(
+            TransferStats(
+                iteration=iteration,
+                table_id=table_id,
+                codec=codec_name,
+                error_bound=error_bound,
+                original_nbytes=rows.nbytes,
+                compressed_nbytes=len(payload),
+            )
+        )
+        return payload
+
+    def decompress_slice(self, payload: bytes) -> np.ndarray:
+        """Stage ④: reconstruct a slice (self-describing payload)."""
+        return decompress_any(payload)
+
+    def roundtrip(self, table_id: int, rows: np.ndarray, iteration: int) -> np.ndarray:
+        """Compress + decompress — the noise the receiver actually sees.
+
+        Used by the single-process reference trainer to study accuracy
+        effects without simulating a cluster.
+        """
+        return self.decompress_slice(self.compress_slice(table_id, rows, iteration))
+
+    # ------------------------------------------------------------- timing
+
+    def _codec_throughputs(self, codec: str) -> tuple[float, float]:
+        t = self.profile.for_codec(codec)
+        return t.compress, t.decompress
+
+    def compression_seconds(self, chunks: list[tuple[str, int]]) -> float:
+        """Modelled stage-① time for ``(codec, input_nbytes)`` chunks.
+
+        Chunks are grouped by codec; each group runs as one fused kernel
+        (buffer optimization) or as per-chunk kernels.
+        """
+        by_codec: dict[str, list[float]] = defaultdict(list)
+        for codec, nbytes in chunks:
+            by_codec[codec].append(float(nbytes))
+        total = 0.0
+        for codec, sizes in by_codec.items():
+            tc, _ = self._codec_throughputs(codec)
+            model = BufferCostModel(gpu=self.gpu, compress_throughput=tc)
+            if self.fused_kernels:
+                total += model.fused_compression_seconds(sizes)
+            else:
+                total += model.chunked_compression_seconds(sizes)
+        return total
+
+    def decompression_seconds(self, chunks: list[tuple[str, int]]) -> float:
+        """Modelled stage-④ time (parallel chunk decode when fused)."""
+        by_codec: dict[str, list[float]] = defaultdict(list)
+        for codec, nbytes in chunks:
+            by_codec[codec].append(float(nbytes))
+        total = 0.0
+        for codec, sizes in by_codec.items():
+            _, td = self._codec_throughputs(codec)
+            model = BufferCostModel(gpu=self.gpu, decompress_throughput=td)
+            if self.fused_kernels:
+                total += model.parallel_decompression_seconds(sizes)
+            else:
+                total += model.serial_decompression_seconds(sizes)
+        return total
+
+    # ------------------------------------------------- future-work overlap
+
+    def pipelined_exchange_seconds(
+        self, chunks: list[tuple[str, int]], wire_seconds_per_chunk: list[float]
+    ) -> float:
+        """Makespan of a compression⇄transmission *pipeline* (future work).
+
+        The paper's future work proposes integrating (de)compression with
+        the communication library so chunk ``i+1`` compresses while chunk
+        ``i`` is on the wire.  For per-chunk compress times ``c_i`` and
+        wire times ``w_i``, the classic two-stage pipeline makespan is::
+
+            max_k ( sum_{i<=k} c_i  +  sum_{i>=k} w_i )
+
+        Chunks run as individual kernels here (they must be available
+        incrementally), so this composes with ``fused_kernels=False``
+        pricing.  Compare with :meth:`sequential_exchange_seconds`.
+        """
+        if len(chunks) != len(wire_seconds_per_chunk):
+            raise ValueError(
+                f"{len(chunks)} chunks but {len(wire_seconds_per_chunk)} wire times"
+            )
+        if not chunks:
+            return 0.0
+        if any(w < 0 for w in wire_seconds_per_chunk):
+            raise ValueError("wire times must be >= 0")
+        compress_times = []
+        for codec, nbytes in chunks:
+            tc, _ = self._codec_throughputs(codec)
+            model = BufferCostModel(gpu=self.gpu, compress_throughput=tc)
+            compress_times.append(model.chunked_compression_seconds([float(nbytes)]))
+        prefix_c = 0.0
+        best = 0.0
+        suffix_w = [0.0] * (len(chunks) + 1)
+        for i in range(len(chunks) - 1, -1, -1):
+            suffix_w[i] = suffix_w[i + 1] + wire_seconds_per_chunk[i]
+        for k in range(len(chunks)):
+            prefix_c += compress_times[k]
+            best = max(best, prefix_c + suffix_w[k])
+        return best
+
+    def sequential_exchange_seconds(
+        self, chunks: list[tuple[str, int]], wire_seconds_per_chunk: list[float]
+    ) -> float:
+        """No overlap: all compression, then all transmission (the default
+        pipeline the paper ships; baseline for the overlap ablation)."""
+        if len(chunks) != len(wire_seconds_per_chunk):
+            raise ValueError(
+                f"{len(chunks)} chunks but {len(wire_seconds_per_chunk)} wire times"
+            )
+        return self.compression_seconds(chunks) + sum(wire_seconds_per_chunk)
+
+    # ------------------------------------------------------------- reports
+
+    def mean_ratio(self, table_id: int | None = None) -> float:
+        """Average compression ratio over recorded transfers."""
+        selected = [
+            s for s in self.stats if table_id is None or s.table_id == table_id
+        ]
+        if not selected:
+            raise ValueError("no transfers recorded")
+        original = sum(s.original_nbytes for s in selected)
+        compressed = sum(s.compressed_nbytes for s in selected)
+        return original / max(1, compressed)
+
+    def clear_stats(self) -> None:
+        self.stats.clear()

@@ -1,0 +1,26 @@
+"""Shared utilities: RNG management, formatting, validation helpers."""
+
+from repro.utils.rng import RngPool, spawn_rng
+from repro.utils.tables import format_table
+from repro.utils.units import GB, KB, MB, format_bytes, format_rate
+from repro.utils.validation import (
+    check_dtype,
+    check_in,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "RngPool",
+    "spawn_rng",
+    "format_table",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_rate",
+    "check_positive",
+    "check_in",
+    "check_dtype",
+    "check_shape",
+]

@@ -1,0 +1,193 @@
+"""Tests for table classification and error-bound decay schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.classify import (
+    ClassifierThresholds,
+    ErrorBoundLevels,
+    classify_by_rank,
+    classify_by_threshold,
+)
+from repro.adaptive.decay import (
+    AbruptDrop,
+    ConstantSchedule,
+    ExponentialDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    StepwiseDecay,
+    make_schedule,
+)
+
+
+class TestErrorBoundLevels:
+    def test_paper_defaults(self):
+        levels = ErrorBoundLevels()
+        assert (levels.small, levels.medium, levels.large) == (0.01, 0.03, 0.05)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError, match="ordered"):
+            ErrorBoundLevels(large=0.01, medium=0.03, small=0.05)
+
+    def test_from_global(self):
+        levels = ErrorBoundLevels.from_global(0.03, alpha=5 / 3, beta=3.0)
+        assert levels.medium == 0.03
+        assert levels.large == pytest.approx(0.05)
+        assert levels.small == pytest.approx(0.01)
+
+    def test_from_global_rejects_shrinking_alpha(self):
+        with pytest.raises(ValueError):
+            ErrorBoundLevels.from_global(0.03, alpha=0.5)
+
+    def test_for_category(self):
+        levels = ErrorBoundLevels()
+        assert levels.for_category("small") == 0.01
+        assert levels.for_category("medium") == 0.03
+        assert levels.for_category("large") == 0.05
+        with pytest.raises(ValueError):
+            levels.for_category("huge")
+
+
+class TestThresholdClassifier:
+    def test_algorithm1_branches(self):
+        thresholds = ClassifierThresholds(small_threshold=0.25, large_threshold=0.02)
+        assert classify_by_threshold(0.5, thresholds) == "small"
+        assert classify_by_threshold(0.01, thresholds) == "large"
+        assert classify_by_threshold(0.1, thresholds) == "medium"
+
+    def test_boundaries_are_medium(self):
+        thresholds = ClassifierThresholds(small_threshold=0.25, large_threshold=0.02)
+        assert classify_by_threshold(0.25, thresholds) == "medium"
+        assert classify_by_threshold(0.02, thresholds) == "medium"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            classify_by_threshold(1.5)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierThresholds(small_threshold=0.1, large_threshold=0.5)
+
+
+class TestRankClassifier:
+    def test_tertile_split(self):
+        indices = {i: i / 8 for i in range(9)}
+        result = classify_by_rank(indices)
+        # Most homogenizing third -> small.
+        assert all(result[i] == "small" for i in (6, 7, 8))
+        assert all(result[i] == "medium" for i in (3, 4, 5))
+        assert all(result[i] == "large" for i in (0, 1, 2))
+
+    def test_all_classes_present_even_with_ties(self):
+        result = classify_by_rank({i: 0.0 for i in range(6)})
+        assert set(result.values()) == {"small", "medium", "large"}
+
+    def test_deterministic_tiebreak(self):
+        a = classify_by_rank({i: 0.5 for i in range(9)})
+        b = classify_by_rank({i: 0.5 for i in range(9)})
+        assert a == b
+
+    def test_custom_fractions(self):
+        result = classify_by_rank({i: i / 10 for i in range(10)}, small_fraction=0.1, large_fraction=0.1)
+        assert sum(1 for v in result.values() if v == "small") == 1
+        assert sum(1 for v in result.values() if v == "large") == 1
+
+    def test_fraction_sum_validation(self):
+        with pytest.raises(ValueError, match="sum"):
+            classify_by_rank({0: 0.5}, small_fraction=0.7, large_fraction=0.7)
+
+    def test_empty_mapping(self):
+        assert classify_by_rank({}) == {}
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            classify_by_rank({0: 1.5})
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=3, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_ranking_property(self, values):
+        indices = dict(enumerate(values))
+        result = classify_by_rank(indices)
+        # No 'large' table may have a higher index than any 'small' table.
+        smalls = [values[i] for i, c in result.items() if c == "small"]
+        larges = [values[i] for i, c in result.items() if c == "large"]
+        if smalls and larges:
+            assert min(smalls) >= max(larges) - 1e-12
+
+
+class TestDecaySchedules:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            StepwiseDecay(2.0, 100, n_steps=4),
+            LinearDecay(2.0, 100),
+            LogarithmicDecay(2.0, 100),
+            ExponentialDecay(2.0, 100),
+            AbruptDrop(2.0, 100),
+        ],
+    )
+    def test_starts_high_ends_at_one(self, schedule):
+        assert schedule(0) == pytest.approx(2.0)
+        assert schedule(100) == 1.0
+        assert schedule(10_000) == 1.0
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            StepwiseDecay(3.0, 64, n_steps=4),
+            LinearDecay(3.0, 64),
+            LogarithmicDecay(3.0, 64),
+            ExponentialDecay(3.0, 64),
+            AbruptDrop(3.0, 64),
+        ],
+    )
+    def test_monotone_non_increasing(self, schedule):
+        values = [schedule(i) for i in range(130)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert all(v >= 1.0 for v in values)
+
+    def test_stepwise_has_plateaus(self):
+        schedule = StepwiseDecay(2.0, 100, n_steps=4)
+        values = [schedule(i) for i in range(100)]
+        assert len(set(np.round(values, 12))) == 4
+
+    def test_drop_is_flat_then_one(self):
+        schedule = AbruptDrop(2.0, 50)
+        assert schedule(49) == 2.0
+        assert schedule(50) == 1.0
+
+    def test_logarithmic_decays_faster_than_linear_early(self):
+        log_s = LogarithmicDecay(2.0, 100)
+        lin_s = LinearDecay(2.0, 100)
+        assert log_s(10) < lin_s(10)
+
+    def test_constant(self):
+        schedule = ConstantSchedule()
+        assert schedule(0) == schedule(10**6) == 1.0
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule()(-1)
+
+    def test_initial_scale_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LinearDecay(0.5, 10)
+
+    def test_make_schedule(self):
+        s = make_schedule("stepwise", initial_scale=2.0, phase_iterations=10)
+        assert isinstance(s, StepwiseDecay)
+        with pytest.raises(KeyError):
+            make_schedule("cosine")
+
+    def test_decay_vs_drop_mean_multiplier(self):
+        """Decay spends more iterations at elevated bounds than a drop-free
+        constant, but the drop holds the max throughout (Fig. 10 mechanics)."""
+        decay = StepwiseDecay(2.0, 100, n_steps=4)
+        drop = AbruptDrop(2.0, 100)
+        mean_decay = np.mean([decay(i) for i in range(100)])
+        mean_drop = np.mean([drop(i) for i in range(100)])
+        assert 1.0 < mean_decay < mean_drop == 2.0

@@ -1,0 +1,92 @@
+"""Tests for the Homogenization Index (Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.homo_index import count_patterns, homogenization_index
+
+
+class TestCountPatterns:
+    def test_all_unique(self):
+        assert count_patterns(np.arange(12).reshape(4, 3)) == 4
+
+    def test_all_identical(self):
+        assert count_patterns(np.ones((10, 3))) == 1
+
+    def test_empty(self):
+        assert count_patterns(np.zeros((0, 3))) == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            count_patterns(np.arange(5))
+
+
+class TestHomogenizationIndex:
+    def test_no_homogenization_on_spread_rows(self):
+        rows = np.arange(40, dtype=np.float32).reshape(10, 4)
+        result = homogenization_index(rows, error_bound=0.01)
+        assert result.homo_index == 0.0
+        assert result.pattern_ratio == 1.0
+
+    def test_full_homogenization_with_huge_bound(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(0, 0.01, size=(20, 4)).astype(np.float32)
+        result = homogenization_index(rows, error_bound=10.0)
+        assert result.n_quantized == 1
+        assert result.homo_index == pytest.approx((20 - 1) / 20)
+
+    def test_jittered_clusters_homogenize(self):
+        rng = np.random.default_rng(1)
+        centroids = rng.normal(0, 0.5, size=(5, 8))
+        rows = (centroids[rng.integers(0, 5, 64)] + rng.normal(0, 1e-4, (64, 8))).astype(np.float32)
+        result = homogenization_index(rows, error_bound=0.01)
+        assert result.n_original > result.n_quantized
+        assert result.n_quantized <= 5 * 2  # clusters may straddle a bin edge
+        assert 0 < result.homo_index <= 1
+
+    def test_index_plus_ratio_is_one(self):
+        rng = np.random.default_rng(2)
+        rows = rng.normal(0, 0.1, size=(32, 4)).astype(np.float32)
+        result = homogenization_index(rows, 0.05)
+        assert result.homo_index + result.pattern_ratio == pytest.approx(1.0)
+
+    def test_paper_table3_example(self):
+        """Homo-index arithmetic matches Table III's first row: 110 original
+        patterns, 68 after quantization."""
+        from repro.adaptive.homo_index import HomoIndexResult
+
+        r = HomoIndexResult(n_original=110, n_quantized=68, batch_size=128, error_bound=0.01)
+        assert r.pattern_ratio == pytest.approx(0.618182, abs=1e-6)
+        assert r.homo_index == pytest.approx(1 - 0.618182, abs=1e-6)
+
+    def test_monotone_in_error_bound(self):
+        """Larger bounds can only merge more patterns."""
+        rng = np.random.default_rng(3)
+        rows = rng.normal(0, 0.2, size=(64, 4)).astype(np.float32)
+        counts = [
+            homogenization_index(rows, eb).n_quantized for eb in (0.001, 0.01, 0.1, 1.0)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            homogenization_index(np.zeros((2, 2)), 0.0)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, n, d, eb, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.normal(0, 0.3, size=(n, d)).astype(np.float32)
+        result = homogenization_index(rows, eb)
+        assert 0 <= result.homo_index <= 1
+        assert 0 < result.pattern_ratio <= 1
+        assert 1 <= result.n_quantized <= result.n_original <= n

@@ -1,0 +1,93 @@
+"""Tests for the data-feature analysis (Table I metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_table,
+    code_entropy,
+    gaussianity_score,
+    lorenzo_entropy_inflation,
+)
+from tests.conftest import make_hot_batch
+
+
+class TestCodeEntropy:
+    def test_constant_is_zero(self):
+        assert code_entropy(np.zeros(100, dtype=np.int64)) == 0.0
+
+    def test_uniform_is_log2(self):
+        codes = np.repeat(np.arange(8), 100)
+        assert code_entropy(codes) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert code_entropy(np.array([], dtype=np.int64)) == 0.0
+
+    def test_skew_lowers_entropy(self):
+        skewed = np.array([0] * 90 + [1] * 10)
+        balanced = np.array([0] * 50 + [1] * 50)
+        assert code_entropy(skewed) < code_entropy(balanced)
+
+
+class TestLorenzoInflation:
+    def test_false_prediction_on_embedding_batches(self, rng):
+        """Observation ❶: random-ordered embedding rows inflate entropy."""
+        batch = make_hot_batch(rng, batch=256, dim=32, pool=12)
+        assert lorenzo_entropy_inflation(batch, 0.01) > 1.0
+
+    def test_prediction_helps_on_smooth_fields(self):
+        x, y = np.meshgrid(np.linspace(0, 3, 64), np.linspace(0, 3, 64))
+        smooth = (np.sin(x) + y).astype(np.float32)
+        assert lorenzo_entropy_inflation(smooth, 1e-3) < 1.0
+
+    def test_constant_batch_degenerate(self):
+        batch = np.zeros((8, 8), dtype=np.float32)
+        assert lorenzo_entropy_inflation(batch, 0.01) == 1.0
+
+
+class TestGaussianity:
+    def test_gaussian_scores_near_zero(self, rng):
+        values = rng.normal(0, 1, size=20000)
+        assert abs(gaussianity_score(values)) < 0.15
+
+    def test_uniform_scores_negative(self, rng):
+        values = rng.uniform(-1, 1, size=20000)
+        assert gaussianity_score(values) == pytest.approx(-1.2, abs=0.1)
+
+    def test_laplace_scores_positive(self, rng):
+        values = rng.laplace(0, 1, size=20000)
+        assert gaussianity_score(values) > 1.5
+
+    def test_constant_defined(self):
+        assert gaussianity_score(np.ones(10)) == 0.0
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ValueError):
+            gaussianity_score(np.ones(3))
+
+
+class TestAnalyzeTable:
+    def test_hot_batch_characteristics(self, rng):
+        batch = make_hot_batch(rng, batch=256, dim=32, pool=10, unique_fraction=0.05)
+        features = analyze_table(0, batch, 0.01)
+        assert features.false_prediction  # Table I: ✓ for all shown tables
+        assert features.table_id == 0
+
+    def test_clustered_batch_flags_homogenization(self, rng):
+        centroids = rng.normal(0, 0.3, size=(4, 16)).astype(np.float32)
+        rows = centroids[rng.integers(0, 4, 128)] + rng.normal(0, 1e-4, (128, 16)).astype(np.float32)
+        features = analyze_table(1, rows.astype(np.float32), 0.01)
+        assert features.violent_homogenization
+
+    def test_spread_batch_no_homogenization_flag(self, rng):
+        batch = rng.uniform(-1, 1, size=(128, 16)).astype(np.float32)
+        features = analyze_table(2, batch, 0.001)
+        assert not features.violent_homogenization
+        assert not features.gaussian_distribution
+
+    def test_gaussian_flag(self, rng):
+        batch = rng.normal(0, 0.1, size=(256, 32)).astype(np.float32)
+        features = analyze_table(3, batch, 0.01)
+        assert features.gaussian_distribution

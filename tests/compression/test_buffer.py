@@ -1,0 +1,84 @@
+"""Tests for the buffer-optimization cost model (Fig. 15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.buffer import BufferCostModel
+from repro.dist.gpu import GpuModel
+from repro.utils.units import MB
+
+
+class TestBufferCostModel:
+    @pytest.fixture
+    def model(self) -> BufferCostModel:
+        return BufferCostModel()
+
+    def test_fused_beats_chunked(self, model):
+        chunks = [8.0 * MB] * 8
+        cmp = model.compare_compression(chunks)
+        assert cmp.speedup > 1.0
+
+    def test_speedup_grows_with_chunk_count(self, model):
+        """Fig. 15: more chunks -> bigger win for the fused kernel."""
+        speedups = [
+            model.compare_compression([4.0 * MB] * n).speedup for n in (2, 4, 8, 16)
+        ]
+        assert speedups == sorted(speedups)
+
+    def test_small_blocks_gain_more_than_large(self, model):
+        """The paper's 8 MB-vs-64 MB observation: fixed chunk count, smaller
+        blocks benefit more (launch overhead + poor utilization dominate)."""
+        small = model.compare_compression([8.0 * MB] * 8).speedup
+        large = model.compare_compression([64.0 * MB] * 8).speedup
+        assert small > large
+
+    def test_single_chunk_near_parity(self, model):
+        """With one chunk the only saving is the memcpy elision."""
+        cmp = model.compare_compression([32.0 * MB])
+        assert 1.0 <= cmp.speedup < 1.2
+
+    def test_max_speedup_plausible(self, model):
+        """The paper reports up to 2.04x; the model should live in that
+        neighbourhood for its sweep envelope, not at 10x."""
+        best = max(
+            model.compare_compression([size * MB] * n).speedup
+            for n in (2, 4, 8, 16)
+            for size in (1, 4, 8, 16, 64)
+        )
+        assert 1.5 < best < 4.0
+
+    def test_parallel_decompression_beats_serial(self, model):
+        chunks = [8.0 * MB] * 8
+        cmp = model.compare_decompression(chunks)
+        assert cmp.speedup > 1.0
+
+    def test_parallel_decompression_bounded_by_largest_chunk(self, model):
+        chunks = [64.0 * MB, 1.0 * MB]
+        t = model.parallel_decompression_seconds(chunks)
+        assert t >= 64.0 * MB / model.decompress_throughput
+
+    def test_zero_chunks_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.chunked_compression_seconds([])
+        with pytest.raises(ValueError):
+            model.fused_compression_seconds([])
+
+    def test_negative_chunk_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.serial_decompression_seconds([-1.0])
+
+    def test_ratio_affects_memcpy_cost(self):
+        low_ratio = BufferCostModel(ratio=1.5)
+        high_ratio = BufferCostModel(ratio=50.0)
+        chunks = [16.0 * MB] * 4
+        assert low_ratio.chunked_compression_seconds(chunks) > high_ratio.chunked_compression_seconds(chunks)
+
+    def test_custom_gpu_launch_overhead_dominates_many_small_chunks(self):
+        slow_launch = BufferCostModel(gpu=GpuModel(kernel_launch_overhead=1e-3))
+        fast_launch = BufferCostModel(gpu=GpuModel(kernel_launch_overhead=1e-7))
+        chunks = [0.1 * MB] * 16
+        assert (
+            slow_launch.compare_compression(chunks).speedup
+            > fast_launch.compare_compression(chunks).speedup
+        )

@@ -1,0 +1,70 @@
+"""Tests for throughput-profile calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import EntropyCompressor, VectorLZCompressor
+from repro.compression.calibration import calibrate_profile
+from tests.conftest import make_hot_batch
+
+
+class TestCalibrateProfile:
+    def test_measures_all_codecs(self, rng):
+        sample = make_hot_batch(rng, batch=64, dim=8)
+        profile = calibrate_profile(
+            sample,
+            {"vector_lz": VectorLZCompressor(), "entropy": EntropyCompressor()},
+            error_bound=0.01,
+            repeats=1,
+        )
+        for name in ("vector_lz", "entropy"):
+            throughput = profile.for_codec(name)
+            assert throughput.compress > 0
+            assert throughput.decompress > 0
+
+    def test_reference_scaling(self, rng):
+        sample = make_hot_batch(rng, batch=64, dim=8)
+        known = 40.5e9
+        profile = calibrate_profile(
+            sample,
+            {"vector_lz": VectorLZCompressor(), "entropy": EntropyCompressor()},
+            error_bound=0.01,
+            repeats=1,
+            reference=("vector_lz", known),
+        )
+        assert profile.for_codec("vector_lz").compress == pytest.approx(known)
+        # The other codec's numbers are scaled by the same factor, so the
+        # *ratio* between codecs is preserved.
+        unscaled = calibrate_profile(
+            sample,
+            {"vector_lz": VectorLZCompressor(), "entropy": EntropyCompressor()},
+            error_bound=0.01,
+            repeats=1,
+        )
+        # Measured throughputs are noisy; only check the scaled profile is
+        # consistent within itself (positive finite numbers).
+        assert profile.for_codec("entropy").compress > 0
+
+    def test_usable_for_selection(self, rng):
+        from repro.adaptive import select_compressor
+
+        sample = make_hot_batch(rng, batch=64, dim=8)
+        codecs = {"vector_lz": VectorLZCompressor(), "entropy": EntropyCompressor()}
+        profile = calibrate_profile(sample, codecs, error_bound=0.01, repeats=1)
+        result = select_compressor(sample, codecs, 0.01, 4e9, profile)
+        assert result.best in codecs
+
+    def test_unknown_reference_rejected(self, rng):
+        sample = make_hot_batch(rng, batch=16, dim=4)
+        with pytest.raises(KeyError, match="reference"):
+            calibrate_profile(
+                sample,
+                {"vector_lz": VectorLZCompressor()},
+                error_bound=0.01,
+                reference=("zstd", 1e9),
+            )
+
+    def test_empty_codecs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            calibrate_profile(make_hot_batch(rng, batch=8, dim=4), {}, 0.01)

@@ -1,0 +1,68 @@
+"""Tests for breakdown reports and run comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.timeline import EventCategory, Timeline
+from repro.profiling import breakdown_report, breakdown_rows, compare_runs
+
+
+class TestBreakdownRows:
+    def test_fractions_sum_to_one(self):
+        seconds = {
+            EventCategory.ALLTOALL_FWD: 6.0,
+            EventCategory.TOP_MLP_FWD: 3.0,
+            EventCategory.ALLREDUCE: 1.0,
+        }
+        rows = breakdown_rows(seconds)
+        assert sum(f for _, _, f in rows) == pytest.approx(1.0)
+
+    def test_zero_categories_skipped(self):
+        rows = breakdown_rows({EventCategory.ALLTOALL_FWD: 1.0, EventCategory.COMPRESS: 0.0})
+        labels = [label for label, _, _ in rows]
+        assert "Compression" not in labels
+
+    def test_unknown_category_included(self):
+        rows = breakdown_rows({"custom_stage": 2.0})
+        assert rows[0][0] == "custom_stage"
+
+    def test_empty(self):
+        assert breakdown_rows({}) == []
+
+
+class TestBreakdownReport:
+    def test_report_from_timeline(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.ALLTOALL_FWD, 0.0, 0.6)
+        tl.record(0, EventCategory.TOP_MLP_FWD, 0.6, 0.4)
+        out = breakdown_report(tl, title="Run")
+        assert "Run" in out
+        assert "All-to-all (fwd)" in out
+        assert "60.0%" in out
+        assert "communication" in out
+
+    def test_report_from_mapping(self):
+        out = breakdown_report({EventCategory.ALLREDUCE: 1.0})
+        assert "All-reduce (dense)" in out
+        assert "100.0%" in out
+
+
+class TestCompareRuns:
+    def test_end_to_end_speedup(self):
+        baseline = {EventCategory.ALLTOALL_FWD: 6.0, EventCategory.TOP_MLP_FWD: 4.0}
+        optimized = {
+            EventCategory.ALLTOALL_FWD: 1.0,
+            EventCategory.COMPRESS: 0.5,
+            EventCategory.DECOMPRESS: 0.5,
+            EventCategory.METADATA: 0.2,
+            EventCategory.TOP_MLP_FWD: 4.0,
+        }
+        summary = compare_runs(baseline, optimized)
+        assert summary.end_to_end == pytest.approx(10.0 / 6.2)
+        assert summary.communication == pytest.approx(6.0 / 2.2)
+
+    def test_no_speedup_when_identical(self):
+        run = {EventCategory.ALLTOALL_FWD: 2.0}
+        summary = compare_runs(run, run)
+        assert summary.end_to_end == 1.0

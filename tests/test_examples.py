@@ -1,0 +1,74 @@
+"""Smoke tests for the example scripts.
+
+The two light examples run end to end; the heavier training examples are
+compile-checked so a syntax or import regression still fails fast (their
+full runs happen in documentation workflows, not unit tests).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLightExamples:
+    def test_quickstart_runs(self, capsys):
+        module = _load_module("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "hybrid" in out
+        assert "Compressor comparison" in out
+
+    def test_compressor_tuning_runs(self, capsys):
+        module = _load_module("compressor_tuning")
+        module.window_sweep()
+        module.buffer_optimization()
+        out = capsys.readouterr().out
+        assert "window" in out.lower()
+        assert "Buffer optimization" in out
+
+    def test_quickstart_batch_is_representative(self):
+        module = _load_module("quickstart")
+        batch = module.make_lookup_batch(batch=256, dim=16, seed=1)
+        assert batch.shape == (256, 16)
+        assert batch.dtype.name == "float32"
+
+
+class TestHeavyExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "train_dlrm_simulated_cluster",
+            "adaptive_error_bound",
+            "autotune_error_bound",
+        ],
+    )
+    def test_compiles(self, name):
+        source = (EXAMPLES_DIR / f"{name}.py").read_text()
+        compile(source, f"{name}.py", "exec")
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "train_dlrm_simulated_cluster",
+            "adaptive_error_bound",
+            "autotune_error_bound",
+        ],
+    )
+    def test_imports_resolve(self, name):
+        """Loading the module executes its imports (but not main())."""
+        module = _load_module(name)
+        assert hasattr(module, "main")

@@ -1,0 +1,118 @@
+"""Tests for the pipelined (overlap) exchange model and related helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import AdaptiveController, OfflineAnalyzer
+from repro.compression.quantizer import relative_to_absolute_bound
+from repro.train import CompressionPipeline
+from tests.conftest import make_gaussian_batch, make_hot_batch
+
+
+@pytest.fixture
+def pipeline(rng) -> CompressionPipeline:
+    samples = {0: make_hot_batch(rng), 1: make_gaussian_batch(rng)}
+    plan = OfflineAnalyzer().analyze(samples)
+    return CompressionPipeline(AdaptiveController(plan), fused_kernels=False)
+
+
+class TestPipelinedExchange:
+    def test_never_worse_than_sequential(self, pipeline):
+        chunks = [("vector_lz", 1 << 20)] * 8
+        wire = [5e-5] * 8
+        overlapped = pipeline.pipelined_exchange_seconds(chunks, wire)
+        sequential = pipeline.sequential_exchange_seconds(chunks, wire)
+        assert overlapped <= sequential
+
+    def test_lower_bounded_by_each_stage(self, pipeline):
+        chunks = [("vector_lz", 1 << 20)] * 8
+        wire = [5e-5] * 8
+        overlapped = pipeline.pipelined_exchange_seconds(chunks, wire)
+        assert overlapped >= sum(wire)
+        compress_only = pipeline.compression_seconds(chunks)
+        # The chunked compression of the same chunks is a lower bound too
+        # (fused_kernels=False so pricing matches).
+        assert overlapped >= compress_only - 1e-12
+
+    def test_wire_dominated_limit(self, pipeline):
+        """When the wire is very slow, overlap hides compression almost
+        entirely: makespan ~ first-chunk compress + total wire."""
+        chunks = [("vector_lz", 1 << 16)] * 4
+        wire = [1.0] * 4  # 1 s per chunk: wire utterly dominates
+        overlapped = pipeline.pipelined_exchange_seconds(chunks, wire)
+        assert overlapped == pytest.approx(
+            4.0 + pipeline.compression_seconds([chunks[0]]), rel=1e-3
+        )
+
+    def test_compress_dominated_limit(self, pipeline):
+        """When compression dominates, overlap hides the wire except the
+        final chunk's transmission."""
+        chunks = [("vector_lz", 1 << 24)] * 4
+        wire = [1e-9] * 4
+        overlapped = pipeline.pipelined_exchange_seconds(chunks, wire)
+        total_compress = pipeline.compression_seconds(chunks)
+        assert overlapped == pytest.approx(total_compress + 1e-9, rel=1e-6)
+
+    def test_empty(self, pipeline):
+        assert pipeline.pipelined_exchange_seconds([], []) == 0.0
+
+    def test_length_mismatch_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="wire times"):
+            pipeline.pipelined_exchange_seconds([("vector_lz", 100)], [])
+        with pytest.raises(ValueError, match="wire times"):
+            pipeline.sequential_exchange_seconds([("vector_lz", 100)], [])
+
+    def test_negative_wire_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.pipelined_exchange_seconds([("vector_lz", 100)], [-1.0])
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e-3), min_size=1, max_size=12),
+        st.integers(min_value=10, max_value=1 << 22),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_between_bounds_property(self, wire, chunk_bytes):
+        samples_rng = np.random.default_rng(0)
+        samples = {0: make_hot_batch(samples_rng)}
+        plan = OfflineAnalyzer().analyze(samples)
+        pipeline = CompressionPipeline(AdaptiveController(plan), fused_kernels=False)
+        chunks = [("vector_lz", chunk_bytes)] * len(wire)
+        overlapped = pipeline.pipelined_exchange_seconds(chunks, wire)
+        sequential = pipeline.sequential_exchange_seconds(chunks, wire)
+        compress_total = pipeline.compression_seconds(chunks)
+        assert max(sum(wire), compress_total) - 1e-12 <= overlapped <= sequential + 1e-12
+
+
+class TestRelativeBound:
+    def test_scales_with_range(self):
+        data = np.array([0.0, 2.0], dtype=np.float32)
+        assert relative_to_absolute_bound(data, 0.01) == pytest.approx(0.02)
+
+    def test_constant_input_falls_back_to_magnitude(self):
+        data = np.full(4, 5.0, dtype=np.float32)
+        assert relative_to_absolute_bound(data, 0.1) == pytest.approx(0.5)
+
+    def test_zero_input_positive_bound(self):
+        data = np.zeros(4, dtype=np.float32)
+        assert relative_to_absolute_bound(data, 0.1) > 0
+
+    def test_usable_with_compressor(self, rng):
+        from repro.compression import HybridCompressor
+
+        data = make_gaussian_batch(rng)
+        bound = relative_to_absolute_bound(data, 0.01)
+        codec = HybridCompressor()
+        rec = codec.decompress(codec.compress(data, bound))
+        assert np.abs(data - rec).max() <= bound * (1 + 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_to_absolute_bound(np.zeros(0), 0.1)
+        with pytest.raises(ValueError):
+            relative_to_absolute_bound(np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            relative_to_absolute_bound(np.array([np.nan]), 0.1)

@@ -1,0 +1,98 @@
+"""Tests for the compression pipeline (stages ① and ④)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveController,
+    OfflineAnalyzer,
+    StepwiseDecay,
+)
+from repro.train.pipeline import CompressionPipeline
+from tests.conftest import make_gaussian_batch, make_hot_batch
+
+
+@pytest.fixture
+def controller(rng) -> AdaptiveController:
+    samples = {0: make_hot_batch(rng), 1: make_gaussian_batch(rng)}
+    plan = OfflineAnalyzer().analyze(samples)
+    return AdaptiveController(plan, StepwiseDecay(2.0, 50, n_steps=2))
+
+
+class TestCompressDecompress:
+    def test_roundtrip_within_effective_bound(self, controller, rng):
+        pipeline = CompressionPipeline(controller)
+        rows = make_hot_batch(rng, batch=64)
+        for iteration in (0, 25, 100):
+            out = pipeline.roundtrip(0, rows, iteration)
+            bound = controller.error_bound(0, iteration)
+            assert np.abs(rows - out).max() <= bound + 1e-5
+
+    def test_stats_recorded(self, controller, rng):
+        pipeline = CompressionPipeline(controller)
+        rows = make_hot_batch(rng, batch=64)
+        pipeline.compress_slice(0, rows, 3)
+        pipeline.compress_slice(1, rows, 3)
+        assert len(pipeline.stats) == 2
+        assert pipeline.stats[0].table_id == 0
+        assert pipeline.stats[0].iteration == 3
+        assert pipeline.stats[0].ratio > 1.0
+
+    def test_mean_ratio_filters_by_table(self, controller, rng):
+        pipeline = CompressionPipeline(controller)
+        pipeline.compress_slice(0, make_hot_batch(rng, batch=64), 0)
+        pipeline.compress_slice(1, make_gaussian_batch(rng, batch=64), 0)
+        overall = pipeline.mean_ratio()
+        t0 = pipeline.mean_ratio(table_id=0)
+        t1 = pipeline.mean_ratio(table_id=1)
+        assert min(t0, t1) <= overall <= max(t0, t1)
+
+    def test_mean_ratio_empty_rejected(self, controller):
+        with pytest.raises(ValueError):
+            CompressionPipeline(controller).mean_ratio()
+
+    def test_clear_stats(self, controller, rng):
+        pipeline = CompressionPipeline(controller)
+        pipeline.compress_slice(0, make_hot_batch(rng, batch=16), 0)
+        pipeline.clear_stats()
+        assert pipeline.stats == []
+
+    def test_decay_loosens_early_bounds(self, controller, rng):
+        """Early iterations use a larger bound -> smaller payloads."""
+        pipeline = CompressionPipeline(controller)
+        rows = make_gaussian_batch(rng, batch=256)
+        early = pipeline.compress_slice(1, rows, 0)
+        late = pipeline.compress_slice(1, rows, 100)
+        assert len(early) <= len(late)
+
+    def test_codec_follows_plan(self, controller, rng):
+        from repro.compression.base import parse_payload
+
+        pipeline = CompressionPipeline(controller)
+        payload = pipeline.compress_slice(0, make_hot_batch(rng, batch=32), 0)
+        header, _ = parse_payload(payload)
+        assert header["codec"] == controller.compressor_name(0)
+
+
+class TestTimingModel:
+    def test_fused_faster_than_chunked(self, controller):
+        fused = CompressionPipeline(controller, fused_kernels=True)
+        chunked = CompressionPipeline(controller, fused_kernels=False)
+        chunks = [("vector_lz", 2**20)] * 16
+        assert fused.compression_seconds(chunks) < chunked.compression_seconds(chunks)
+        assert fused.decompression_seconds(chunks) < chunked.decompression_seconds(chunks)
+
+    def test_mixed_codecs_priced_separately(self, controller):
+        pipeline = CompressionPipeline(controller)
+        both = pipeline.compression_seconds(
+            [("vector_lz", 2**20), ("entropy", 2**20)]
+        )
+        lz_only = pipeline.compression_seconds([("vector_lz", 2**20)])
+        assert both > lz_only
+
+    def test_empty_chunks_cost_nothing(self, controller):
+        pipeline = CompressionPipeline(controller)
+        assert pipeline.compression_seconds([]) == 0.0
+        assert pipeline.decompression_seconds([]) == 0.0

@@ -1,0 +1,222 @@
+"""Tests for the reference and hybrid-parallel trainers.
+
+The load-bearing test here is the *equivalence* one: the hybrid-parallel
+simulation must produce bit-identical losses to the single-process
+reference trainer (with the matching lossy hook), because they share all
+arithmetic by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveController, OfflineAnalyzer, StepwiseDecay
+from repro.data import SyntheticClickDataset, make_uniform_spec
+from repro.dist import ClusterSimulator, EventCategory
+from repro.model import DLRM, DLRMConfig
+from repro.train import (
+    CompressionPipeline,
+    HybridParallelTrainer,
+    ReferenceTrainer,
+    ShardingPlan,
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    spec = make_uniform_spec("t", n_tables=6, cardinality=200, zipf_exponent=1.4)
+    dataset = SyntheticClickDataset(spec, seed=11, teacher_scale=3.0)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, bottom_hidden=(16,), top_hidden=(16,), seed=12
+    )
+    return spec, dataset, config
+
+
+def _make_plan(dataset, config, batch=128):
+    model = DLRM(config)
+    b = dataset.batch(batch, batch_index=777)
+    samples = {j: model.lookup(j, b.sparse[:, j]) for j in range(config.n_tables)}
+    return OfflineAnalyzer().analyze(samples)
+
+
+class TestReferenceTrainer:
+    def test_loss_decreases(self, small_world):
+        _, dataset, config = small_world
+        trainer = ReferenceTrainer(DLRM(config), dataset, lr=0.3)
+        history = trainer.train(60, 64)
+        assert np.mean(history.losses[-10:]) < np.mean(history.losses[:10])
+
+    def test_eval_recorded(self, small_world):
+        _, dataset, config = small_world
+        trainer = ReferenceTrainer(DLRM(config), dataset, lr=0.3)
+        history = trainer.train(10, 32, eval_every=5, eval_batches=1)
+        assert history.eval_iterations == [4, 9]
+        assert len(history.accuracies) == 2
+
+    def test_adagrad_variant(self, small_world):
+        _, dataset, config = small_world
+        trainer = ReferenceTrainer(DLRM(config), dataset, lr=0.05, optimizer="adagrad")
+        history = trainer.train(30, 64)
+        assert np.mean(history.losses[-5:]) < np.mean(history.losses[:5])
+
+    def test_lookup_transform_applied(self, small_world):
+        _, dataset, config = small_world
+        calls = []
+
+        def spy(table_id, rows, iteration):
+            calls.append((table_id, iteration))
+            return rows
+
+        trainer = ReferenceTrainer(DLRM(config), dataset, lr=0.1, lookup_transform=spy)
+        trainer.train(2, 16)
+        assert (0, 0) in calls and (5, 1) in calls
+
+    def test_tight_compression_barely_changes_training(self, small_world):
+        """With a tiny error bound the lossy run tracks the exact run."""
+        _, dataset, config = small_world
+        exact = ReferenceTrainer(DLRM(config), dataset, lr=0.2)
+        h_exact = exact.train(20, 64)
+
+        from repro.compression import HybridCompressor
+
+        codec = HybridCompressor()
+
+        def lossy(table_id, rows, iteration):
+            return codec.decompress(codec.compress(rows, 1e-6))
+
+        noisy = ReferenceTrainer(DLRM(config), dataset, lr=0.2, lookup_transform=lossy)
+        h_noisy = noisy.train(20, 64)
+        np.testing.assert_allclose(h_exact.losses, h_noisy.losses, atol=1e-4)
+
+    def test_invalid_optimizer(self, small_world):
+        _, dataset, config = small_world
+        with pytest.raises(ValueError):
+            ReferenceTrainer(DLRM(config), dataset, lr=0.1, optimizer="adam")
+
+
+class TestHybridTrainer:
+    def test_matches_reference_exactly_without_compression(self, small_world):
+        """Hybrid-parallel numerics == single-process numerics."""
+        _, dataset, config = small_world
+        ref = ReferenceTrainer(DLRM(config), dataset, lr=0.2)
+        h_ref = ref.train(8, 64)
+        sim = ClusterSimulator(4)
+        hyb = HybridParallelTrainer(DLRM(config), dataset, sim, lr=0.2)
+        rep = hyb.train(8, 64)
+        np.testing.assert_allclose(h_ref.losses, rep.history.losses, rtol=1e-12)
+
+    def test_matches_reference_with_compression(self, small_world):
+        """With the same controller, the hybrid run's losses equal the
+        reference run that applies the identical per-slice round-trip."""
+        _, dataset, config = small_world
+        plan = _make_plan(dataset, config)
+        n_ranks, batch = 4, 64
+        local = batch // n_ranks
+
+        # Hybrid run.
+        sim = ClusterSimulator(n_ranks)
+        controller = AdaptiveController(plan, StepwiseDecay(2.0, 10, n_steps=2))
+        pipe = CompressionPipeline(controller)
+        hyb = HybridParallelTrainer(DLRM(config), dataset, sim, pipeline=pipe, lr=0.2)
+        rep = hyb.train(6, batch)
+
+        # Reference run with per-destination-slice round-trips.
+        controller2 = AdaptiveController(plan, StepwiseDecay(2.0, 10, n_steps=2))
+        pipe2 = CompressionPipeline(controller2)
+
+        def per_slice_roundtrip(table_id, rows, iteration):
+            parts = [
+                pipe2.roundtrip(table_id, rows[r * local : (r + 1) * local], iteration)
+                for r in range(n_ranks)
+            ]
+            return np.concatenate(parts, axis=0)
+
+        ref = ReferenceTrainer(
+            DLRM(config), dataset, lr=0.2, lookup_transform=per_slice_roundtrip
+        )
+        h_ref = ref.train(6, batch)
+        np.testing.assert_allclose(h_ref.losses, rep.history.losses, rtol=1e-10)
+
+    def test_compression_reduces_wire_bytes(self, small_world):
+        _, dataset, config = small_world
+        plan = _make_plan(dataset, config)
+        sim = ClusterSimulator(4)
+        pipe = CompressionPipeline(AdaptiveController(plan))
+        trainer = HybridParallelTrainer(DLRM(config), dataset, sim, pipeline=pipe, lr=0.2)
+        report = trainer.train(3, 64)
+        assert report.forward_wire_bytes < report.forward_raw_bytes
+        assert report.forward_compression_ratio > 1.5
+
+    def test_timeline_has_pipeline_stages(self, small_world):
+        _, dataset, config = small_world
+        plan = _make_plan(dataset, config)
+        sim = ClusterSimulator(4)
+        pipe = CompressionPipeline(AdaptiveController(plan))
+        trainer = HybridParallelTrainer(DLRM(config), dataset, sim, pipeline=pipe, lr=0.2)
+        trainer.train(2, 64)
+        cats = set(sim.timeline.total_by_category())
+        assert EventCategory.COMPRESS in cats
+        assert EventCategory.DECOMPRESS in cats
+        assert EventCategory.METADATA in cats
+        assert EventCategory.ALLTOALL_FWD in cats
+        assert EventCategory.ALLTOALL_BWD in cats
+
+    def test_no_pipeline_timeline_has_no_compression(self, small_world):
+        _, dataset, config = small_world
+        sim = ClusterSimulator(4)
+        trainer = HybridParallelTrainer(DLRM(config), dataset, sim, lr=0.2)
+        trainer.train(2, 64)
+        cats = set(sim.timeline.total_by_category())
+        assert EventCategory.COMPRESS not in cats
+        assert EventCategory.METADATA not in cats
+
+    def test_indivisible_batch_rejected(self, small_world):
+        _, dataset, config = small_world
+        trainer = HybridParallelTrainer(DLRM(config), dataset, ClusterSimulator(4), lr=0.2)
+        with pytest.raises(ValueError, match="divisible"):
+            trainer.train_step(66, 0)
+
+    def test_custom_sharding_round_robin(self, small_world):
+        _, dataset, config = small_world
+        sim = ClusterSimulator(2)
+        sharding = ShardingPlan.round_robin(config.n_tables, 2)
+        trainer = HybridParallelTrainer(
+            DLRM(config), dataset, sim, lr=0.2, sharding=sharding
+        )
+        report = trainer.train(2, 32)
+        assert len(report.history.losses) == 2
+
+    def test_mismatched_sharding_rejected(self, small_world):
+        _, dataset, config = small_world
+        bad = ShardingPlan.round_robin(3, 2)  # wrong table count
+        with pytest.raises(ValueError, match="sharding"):
+            HybridParallelTrainer(
+                DLRM(config), dataset, ClusterSimulator(2), lr=0.2, sharding=bad
+            )
+
+    def test_backward_compression_path(self, small_world):
+        _, dataset, config = small_world
+        plan = _make_plan(dataset, config)
+        sim = ClusterSimulator(2)
+        pipe = CompressionPipeline(AdaptiveController(plan), compress_backward=True)
+        trainer = HybridParallelTrainer(DLRM(config), dataset, sim, pipeline=pipe, lr=0.2)
+        report = trainer.train(3, 32)
+        # Training still converging-ish (losses finite and sane).
+        assert all(np.isfinite(report.history.losses))
+
+    def test_report_breakdown_fractions_sum_to_one(self, small_world):
+        _, dataset, config = small_world
+        sim = ClusterSimulator(4)
+        trainer = HybridParallelTrainer(DLRM(config), dataset, sim, lr=0.2)
+        report = trainer.train(2, 64)
+        fractions = report.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_single_rank_degenerates_cleanly(self, small_world):
+        _, dataset, config = small_world
+        sim = ClusterSimulator(1)
+        trainer = HybridParallelTrainer(DLRM(config), dataset, sim, lr=0.2)
+        report = trainer.train(2, 32)
+        assert report.n_ranks == 1
+        assert all(np.isfinite(report.history.losses))
