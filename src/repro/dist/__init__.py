@@ -1,0 +1,31 @@
+"""Cluster-simulation substrate: GPU/network cost models, exact
+collectives, per-rank clocks, and the event timeline.
+
+The design follows the system-simulation approach of THC and "Compressed
+Communication for Distributed Training": collectives are priced
+*analytically* (alpha-beta models, utilization-scaled kernels) while the
+data path is computed *exactly* in process — so accuracy results are real
+and timing results are modelled, independently.
+
+Layering (no cycles): ``timeline`` and ``gpu`` and ``network`` are leaves;
+``comm`` uses the timeline's categories; ``simulator`` composes all four.
+"""
+
+from repro.dist.comm import Communicator, payload_nbytes
+from repro.dist.gpu import A100_LIKE, GpuModel
+from repro.dist.network import PAPER_FABRIC, NetworkModel
+from repro.dist.simulator import ClusterSimulator
+from repro.dist.timeline import EventCategory, Timeline, TimelineEvent
+
+__all__ = [
+    "A100_LIKE",
+    "PAPER_FABRIC",
+    "ClusterSimulator",
+    "Communicator",
+    "EventCategory",
+    "GpuModel",
+    "NetworkModel",
+    "Timeline",
+    "TimelineEvent",
+    "payload_nbytes",
+]

@@ -1,0 +1,168 @@
+"""Numerically-exact collectives over in-process rank buffers.
+
+The simulation separates *numerics* from *timing*: a
+:class:`Communicator` moves the actual Python objects between per-rank
+buffer lists (so receivers see bit-identical data — compression noise is
+the only lossy step anywhere), while the wire time of each collective is
+priced by the owning simulator's :class:`~repro.dist.network.NetworkModel`
+and charged to every rank's clock.
+
+``compressed_all_to_all`` implements the exchange discipline of the
+paper's pipeline: because error-bounded payloads have *variable* size,
+receivers cannot post buffers until they learn the sizes — so a
+fixed-size metadata all-to-all (stage ②) precedes the payload all-to-all
+(stage ③).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.dist.timeline import EventCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.dist.simulator import ClusterSimulator
+
+__all__ = ["Communicator", "payload_nbytes"]
+
+
+def payload_nbytes(payload: object) -> int:
+    """Wire size of one buffer: arrays by ``nbytes``, byte strings by length."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, memoryview):
+        return payload.nbytes  # len() would count items, not bytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+class Communicator:
+    """Exact in-process collectives billed against the simulated network."""
+
+    def __init__(self, simulator: "ClusterSimulator"):
+        self.simulator = simulator
+
+    @property
+    def n_ranks(self) -> int:
+        return self.simulator.n_ranks
+
+    def _check_square(self, sendbufs: Sequence[Sequence[object]]) -> None:
+        n = self.n_ranks
+        if len(sendbufs) != n:
+            raise ValueError(f"expected {n} send-buffer rows, got {len(sendbufs)}")
+        for src, row in enumerate(sendbufs):
+            if len(row) != n:
+                raise ValueError(f"rank {src} posted {len(row)} buffers, expected {n}")
+
+    # --------------------------------------------------------- all-to-all
+
+    def all_to_all(
+        self,
+        sendbufs: Sequence[Sequence[object]],
+        category: str = EventCategory.ALLTOALL_FWD,
+    ) -> list[list[object]]:
+        """Exchange ``sendbufs[src][dst]`` -> ``recvbufs[dst][src]``.
+
+        Payloads (arrays or byte strings) are handed over untouched, so
+        the data path is exact; the wire time of the full variable-size
+        exchange is charged once to all ranks under ``category``.
+        """
+        self._check_square(sendbufs)
+        n = self.n_ranks
+        matrix = np.zeros((n, n), dtype=np.int64)
+        for src in range(n):
+            for dst in range(n):
+                matrix[src, dst] = payload_nbytes(sendbufs[src][dst])
+        self.simulator.collective(
+            self.simulator.network.all_to_all_time(matrix), category
+        )
+        return [[sendbufs[src][dst] for src in range(n)] for dst in range(n)]
+
+    def compressed_all_to_all(
+        self,
+        sendbufs: Sequence[Sequence[object]],
+        metadata_bytes_per_entry: int = 16,
+        entries_per_pair: int = 1,
+        category: str = EventCategory.ALLTOALL_FWD,
+    ) -> list[list[object]]:
+        """Stages ②+③: fixed-size metadata round, then the payloads.
+
+        Each ordered pair first exchanges ``entries_per_pair`` metadata
+        records of ``metadata_bytes_per_entry`` bytes (compressed size +
+        codec id per slice), charged as :data:`EventCategory.METADATA`;
+        the variable-size payload exchange follows.
+        """
+        if metadata_bytes_per_entry <= 0:
+            raise ValueError(
+                f"metadata_bytes_per_entry must be > 0, got {metadata_bytes_per_entry!r}"
+            )
+        if entries_per_pair <= 0:
+            raise ValueError(f"entries_per_pair must be > 0, got {entries_per_pair!r}")
+        self._check_square(sendbufs)
+        self.simulator.collective(
+            self.simulator.network.uniform_all_to_all_time(
+                metadata_bytes_per_entry * entries_per_pair, self.n_ranks
+            ),
+            EventCategory.METADATA,
+        )
+        return self.all_to_all(sendbufs, category=category)
+
+    # --------------------------------------------------------- all-reduce
+
+    def all_reduce(
+        self,
+        arrays: Sequence[np.ndarray],
+        category: str = EventCategory.ALLREDUCE,
+    ) -> list[np.ndarray]:
+        """Sum one array per rank; every rank receives the identical total.
+
+        The reduction runs in fixed rank order so the result is
+        deterministic (and equals the single-process sum bit for bit).
+        """
+        if len(arrays) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} arrays, got {len(arrays)}")
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise ValueError(f"all-reduce arrays must share a shape, got {sorted(shapes)}")
+        dtypes = {a.dtype for a in arrays}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"all-reduce arrays must share a dtype, got {sorted(map(str, dtypes))}"
+            )
+        total = arrays[0].copy()
+        for contribution in arrays[1:]:
+            total += contribution
+        self.simulator.collective(
+            self.simulator.network.all_reduce_time(total.nbytes, self.n_ranks), category
+        )
+        return [total.copy() for _ in range(self.n_ranks)]
+
+    # ---------------------------------------------------------- broadcast
+
+    def broadcast(self, payload: object, root: int = 0, category: str = EventCategory.METADATA) -> list[object]:
+        """Hand ``root``'s payload to every rank (tree: ``ceil(log2 n)``
+        latency rounds, full payload per hop).
+
+        Mutable payloads are copied per rank — as with :meth:`all_reduce`,
+        no two ranks may alias one buffer."""
+        if not 0 <= root < self.n_ranks:
+            raise ValueError(f"root must be in [0, {self.n_ranks}), got {root!r}")
+        n = self.n_ranks
+        if n > 1:
+            rounds = int(np.ceil(np.log2(n)))
+            seconds = rounds * self.simulator.network.point_to_point_time(
+                payload_nbytes(payload)
+            )
+            self.simulator.collective(seconds, category)
+
+        def deliver() -> object:
+            if isinstance(payload, np.ndarray):
+                return payload.copy()
+            if isinstance(payload, bytearray):
+                return bytearray(payload)
+            return payload  # bytes/memoryview and other immutables
+
+        return [deliver() for _ in range(n)]

@@ -1,0 +1,105 @@
+"""Alpha-beta network cost model for the cluster's collectives.
+
+Classic ``alpha + n * beta`` pricing (Hockney): every message pays a fixed
+per-hop ``latency`` (alpha) plus a bandwidth term (beta = 1/bandwidth).
+Collectives compose the point-to-point model the standard way:
+
+* **all-to-all** — with full-bisection fabric every rank sends and
+  receives concurrently, so the exchange finishes when the *busiest* rank
+  has moved its bytes: ``(n-1) * alpha + max_rank(bytes sent or received)
+  / bandwidth``.  The byte matrix may be non-uniform (variable-size
+  compressed payloads) — this is exactly the paper's stage-③ exchange.
+* **ring all-reduce** — ``2 * (n-1)`` steps moving ``nbytes / n`` each:
+  ``2 * (n-1) * alpha + 2 * (n-1)/n * nbytes / bandwidth``.
+
+The default is calibrated to the paper's evaluation fabric: a 4 GB/s
+effective all-to-all (Section IV) with NVSwitch-class (sub-microsecond)
+per-hop latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import GB
+from repro.utils.validation import check_positive
+
+__all__ = ["NetworkModel", "PAPER_FABRIC"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta cost model of the training fabric.
+
+    Parameters
+    ----------
+    bandwidth:
+        Per-rank injection bandwidth, bytes/second (beta = 1/bandwidth).
+    latency:
+        Per-message fixed cost, seconds (alpha).
+    """
+
+    bandwidth: float = 4.0 * GB
+    latency: float = 2e-7
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        check_positive("latency", self.latency, strict=False)
+
+    # ------------------------------------------------------ point to point
+
+    def point_to_point_time(self, nbytes: float) -> float:
+        """One message of ``nbytes`` between two ranks."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        return self.latency + nbytes / self.bandwidth
+
+    # --------------------------------------------------------- collectives
+
+    def all_to_all_time(self, byte_matrix: np.ndarray) -> float:
+        """Variable-size all-to-all from an ``n x n`` byte matrix where
+        ``byte_matrix[src, dst]`` is the payload ``src`` sends ``dst``.
+
+        Diagonal (self) transfers are local and free.  The exchange is
+        bottlenecked by the busiest port: the largest per-rank off-diagonal
+        row sum (egress) or column sum (ingress).
+        """
+        matrix = np.asarray(byte_matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"byte matrix must be square, got shape {matrix.shape}")
+        if (matrix < 0).any():
+            raise ValueError("byte matrix entries must be >= 0")
+        n = matrix.shape[0]
+        if n <= 1:
+            return 0.0
+        off_diagonal = matrix - np.diag(np.diag(matrix))
+        busiest = float(max(off_diagonal.sum(axis=1).max(), off_diagonal.sum(axis=0).max()))
+        return (n - 1) * self.latency + busiest / self.bandwidth
+
+    def uniform_all_to_all_time(self, nbytes_per_pair: float, n_ranks: int) -> float:
+        """All-to-all where every ordered pair exchanges the same payload
+        (e.g. the fixed-size metadata round of pipeline stage ②)."""
+        check_positive("n_ranks", n_ranks)
+        if nbytes_per_pair < 0:
+            raise ValueError(f"nbytes_per_pair must be >= 0, got {nbytes_per_pair!r}")
+        n = int(n_ranks)
+        if n <= 1:
+            return 0.0
+        return (n - 1) * self.latency + (n - 1) * nbytes_per_pair / self.bandwidth
+
+    def all_reduce_time(self, nbytes: float, n_ranks: int) -> float:
+        """Ring all-reduce of an ``nbytes`` buffer across ``n_ranks``
+        (reduce-scatter + all-gather, each ``n-1`` steps)."""
+        check_positive("n_ranks", n_ranks)
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        n = int(n_ranks)
+        if n <= 1:
+            return 0.0
+        return 2 * (n - 1) * self.latency + 2 * (n - 1) / n * nbytes / self.bandwidth
+
+
+#: The paper's evaluation fabric (Section IV): 4 GB/s effective all-to-all.
+PAPER_FABRIC = NetworkModel()

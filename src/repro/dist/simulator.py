@@ -1,0 +1,114 @@
+"""The cluster simulator: per-rank clocks + cost models + timeline.
+
+:class:`ClusterSimulator` owns everything one simulated training job
+needs: ``n_ranks`` serial device clocks, the :class:`GpuModel` that prices
+compute, the :class:`NetworkModel` that prices collectives, the
+:class:`Communicator` that moves real data, and the :class:`Timeline`
+ledger every charge lands in.
+
+Two charging primitives cover the paper's whole execution model:
+
+* :meth:`compute` — rank-local work: advances one rank's clock and logs
+  an event starting at that rank's current time.
+* :meth:`collective` — synchronizing work: all ranks first meet at the
+  barrier (``max`` of clocks, modelling the straggler), then the charge
+  spans the identical interval on every rank.
+
+Per-rank events therefore never overlap, and collectives appear on all
+ranks with identical spans — the invariants the integration tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dist.comm import Communicator
+from repro.dist.gpu import A100_LIKE, GpuModel
+from repro.dist.network import NetworkModel
+from repro.dist.timeline import Timeline
+
+__all__ = ["ClusterSimulator"]
+
+
+class ClusterSimulator:
+    """Per-rank clocks over shared GPU/network cost models."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        network: NetworkModel | None = None,
+        gpu: GpuModel | None = None,
+    ):
+        if int(n_ranks) < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks!r}")
+        self.n_ranks = int(n_ranks)
+        self.network = network if network is not None else NetworkModel()
+        self.gpu = gpu if gpu is not None else A100_LIKE
+        self.timeline = Timeline()
+        self._clocks = [0.0] * self.n_ranks
+        self.comm = Communicator(self)
+
+    # -------------------------------------------------------------- clocks
+
+    @property
+    def clocks(self) -> tuple[float, ...]:
+        """Current per-rank clock readings."""
+        return tuple(self._clocks)
+
+    def now(self, rank: int) -> float:
+        self._check_rank(rank)
+        return self._clocks[rank]
+
+    def makespan(self) -> float:
+        """Latest clock across the cluster — total simulated wall time."""
+        return max(self._clocks)
+
+    def reset(self) -> None:
+        """Zero all clocks and start a fresh timeline."""
+        self._clocks = [0.0] * self.n_ranks
+        self.timeline = Timeline()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank must be in [0, {self.n_ranks}), got {rank!r}")
+
+    @staticmethod
+    def _check_seconds(seconds: float) -> float:
+        seconds = float(seconds)
+        if not math.isfinite(seconds) or seconds < 0:
+            raise ValueError(f"seconds must be finite and >= 0, got {seconds!r}")
+        return seconds
+
+    # ------------------------------------------------------------ charging
+
+    def compute(self, rank: int, seconds: float, category: str) -> float:
+        """Charge rank-local work; returns the event's end time."""
+        self._check_rank(rank)
+        seconds = self._check_seconds(seconds)
+        start = self._clocks[rank]
+        self.timeline.record(rank, category, start, seconds)
+        self._clocks[rank] = start + seconds
+        return self._clocks[rank]
+
+    def collective(self, seconds: float, category: str) -> float:
+        """Barrier-synchronize all ranks, then charge ``seconds`` to each
+        over the identical interval; returns the common end time."""
+        seconds = self._check_seconds(seconds)
+        start = max(self._clocks)
+        for rank in range(self.n_ranks):
+            self.timeline.record(rank, category, start, seconds)
+        end = start + seconds
+        self._clocks = [end] * self.n_ranks
+        return end
+
+    def barrier(self) -> float:
+        """Synchronize clocks without charging time (no event logged)."""
+        end = max(self._clocks)
+        self._clocks = [end] * self.n_ranks
+        return end
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterSimulator(n_ranks={self.n_ranks}, makespan={self.makespan():.6f}s, "
+            f"events={len(self.timeline)})"
+        )

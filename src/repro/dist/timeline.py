@@ -1,0 +1,113 @@
+"""Per-rank event timeline: what every simulated GPU did, and when.
+
+:class:`Timeline` is the ledger behind every breakdown figure (Figs. 1 and
+12): each simulated operation appends a :class:`TimelineEvent` tagged with
+its rank, an :class:`EventCategory`, a start time, and a duration.  The
+profiling layer aggregates these into category->seconds mappings.
+
+:class:`EventCategory` enumerates the 15 stages of one hybrid-parallel
+DLRM iteration, in execution order — the forward pass, the 4-stage
+compressed exchange (① compress, ② metadata, ③ payload, ④ decompress),
+the backward pass, and the dense synchronization/update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["EventCategory", "TimelineEvent", "Timeline"]
+
+
+class EventCategory(str, Enum):
+    """Stage labels for simulated events (string-valued, dict-key safe)."""
+
+    BOTTOM_MLP_FWD = "bottom_mlp_fwd"
+    EMB_LOOKUP = "emb_lookup"
+    COMPRESS = "compress"
+    METADATA = "metadata"
+    ALLTOALL_FWD = "alltoall_fwd"
+    DECOMPRESS = "decompress"
+    INTERACTION_FWD = "interaction_fwd"
+    TOP_MLP_FWD = "top_mlp_fwd"
+    TOP_MLP_BWD = "top_mlp_bwd"
+    INTERACTION_BWD = "interaction_bwd"
+    ALLTOALL_BWD = "alltoall_bwd"
+    EMB_UPDATE = "emb_update"
+    BOTTOM_MLP_BWD = "bottom_mlp_bwd"
+    ALLREDUCE = "allreduce"
+    OPTIMIZER = "optimizer"
+
+    def __str__(self) -> str:  # keep reports/keys readable
+        return self.value
+
+
+#: Categories that occupy the wire rather than the device — the "of which
+#: communication" rows of the breakdown reports.
+EventCategory.COMMUNICATION = (
+    EventCategory.METADATA,
+    EventCategory.ALLTOALL_FWD,
+    EventCategory.ALLTOALL_BWD,
+    EventCategory.ALLREDUCE,
+)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One simulated operation on one rank's clock."""
+
+    rank: int
+    category: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Timeline:
+    """Append-only per-rank event ledger with category aggregation."""
+
+    def __init__(self) -> None:
+        self.events: list[TimelineEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, rank: int, category: str, start: float, duration: float) -> TimelineEvent:
+        """Append one event and return it."""
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank!r}")
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration!r}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start!r}")
+        event = TimelineEvent(rank=int(rank), category=category, start=float(start), duration=float(duration))
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------- queries
+
+    def events_for_rank(self, rank: int) -> list[TimelineEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def events_in_category(self, category: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def ranks(self) -> list[int]:
+        return sorted({e.rank for e in self.events})
+
+    def span(self, rank: int | None = None) -> float:
+        """Latest event end on ``rank`` (or across all ranks)."""
+        ends = [e.end for e in self.events if rank is None or e.rank == rank]
+        return max(ends, default=0.0)
+
+    def total_by_category(self, rank: int | None = None) -> dict[str, float]:
+        """Category -> total seconds, for one rank or summed over all."""
+        totals: dict[str, float] = {}
+        for e in self.events:
+            if rank is not None and e.rank != rank:
+                continue
+            totals[e.category] = totals.get(e.category, 0.0) + e.duration
+        return totals

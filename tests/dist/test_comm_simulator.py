@@ -1,0 +1,233 @@
+"""Tests for the Communicator's exact collectives and the simulator's
+clock/timeline bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    ClusterSimulator,
+    Communicator,
+    EventCategory,
+    NetworkModel,
+    payload_nbytes,
+)
+
+
+@pytest.fixture
+def sim() -> ClusterSimulator:
+    return ClusterSimulator(4)
+
+
+def rank_buffers(n: int, rng: np.random.Generator) -> list[list[np.ndarray]]:
+    return [
+        [rng.normal(size=(3, 5)).astype(np.float32) for _ in range(n)] for _ in range(n)
+    ]
+
+
+class TestPayloadNbytes:
+    def test_sizes(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(7)) == 7
+        assert payload_nbytes(np.zeros((2, 3), dtype=np.float32)) == 24
+
+    def test_memoryview_counts_bytes_not_items(self):
+        assert payload_nbytes(memoryview(np.zeros(10, dtype=np.float64))) == 80
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_nbytes(12345)
+
+
+class TestAllToAll:
+    def test_bit_identical_roundtrip(self, sim):
+        """Receivers get exactly the objects the senders posted: a full
+        exchange-and-return leaves every buffer bit-identical."""
+        rng = np.random.default_rng(7)
+        sent = rank_buffers(4, rng)
+        received = sim.comm.all_to_all(sent)
+        # received[dst][src] is sent[src][dst], exact.
+        for src in range(4):
+            for dst in range(4):
+                np.testing.assert_array_equal(received[dst][src], sent[src][dst])
+        # Send everything straight back: bit-identical roundtrip.
+        returned = sim.comm.all_to_all(received)
+        for src in range(4):
+            for dst in range(4):
+                np.testing.assert_array_equal(returned[src][dst], sent[src][dst])
+
+    def test_bytes_payloads(self, sim):
+        sent = [[f"{src}->{dst}".encode() for dst in range(4)] for src in range(4)]
+        received = sim.comm.all_to_all(sent)
+        assert received[2][1] == b"1->2"
+
+    def test_charges_wire_time_to_all_ranks(self, sim):
+        rng = np.random.default_rng(7)
+        sim.comm.all_to_all(rank_buffers(4, rng))
+        events = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        assert {e.rank for e in events} == {0, 1, 2, 3}
+        assert len({(e.start, e.end) for e in events}) == 1  # identical spans
+        assert sim.makespan() > 0.0
+
+    def test_charged_time_matches_network_model(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        sim = ClusterSimulator(4, network=net)
+        sent = [[b"x" * 1000 for _ in range(4)] for _ in range(4)]
+        sim.comm.all_to_all(sent)
+        expected = net.all_to_all_time(np.full((4, 4), 1000))
+        assert sim.makespan() == pytest.approx(expected)
+
+    def test_wrong_shape_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.comm.all_to_all([[b""] * 4] * 3)
+        with pytest.raises(ValueError):
+            sim.comm.all_to_all([[b""] * 3] * 4)
+
+
+class TestCompressedAllToAll:
+    def test_metadata_round_precedes_payloads(self, sim):
+        sent = [[b"x" * (src + dst + 1) for dst in range(4)] for src in range(4)]
+        received = sim.comm.compressed_all_to_all(sent, entries_per_pair=26)
+        assert received[3][1] == b"x" * 5
+        meta = sim.timeline.events_in_category(EventCategory.METADATA)
+        payload = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        assert len(meta) == 4 and len(payload) == 4
+        assert max(e.end for e in meta) <= min(e.start for e in payload)
+
+    def test_backward_exchange_can_be_labelled(self, sim):
+        sent = [[b"g" * 8 for _ in range(4)] for _ in range(4)]
+        sim.comm.compressed_all_to_all(sent, category=EventCategory.ALLTOALL_BWD)
+        assert len(sim.timeline.events_in_category(EventCategory.ALLTOALL_BWD)) == 4
+        assert not sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+
+    def test_metadata_cost_is_fixed_size(self):
+        """Stage ② pricing ignores payload sizes — only entry count."""
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        results = []
+        for scale in (1, 1000):
+            sim = ClusterSimulator(4, network=net)
+            sent = [[b"x" * scale for _ in range(4)] for _ in range(4)]
+            sim.comm.compressed_all_to_all(sent, metadata_bytes_per_entry=16)
+            meta = sim.timeline.events_in_category(EventCategory.METADATA)
+            results.append(meta[0].duration)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_validation(self, sim):
+        good = [[b"x"] * 4] * 4
+        with pytest.raises(ValueError):
+            sim.comm.compressed_all_to_all(good, metadata_bytes_per_entry=0)
+        with pytest.raises(ValueError):
+            sim.comm.compressed_all_to_all(good, entries_per_pair=0)
+
+
+class TestAllReduce:
+    def test_exact_deterministic_sum(self, sim):
+        rng = np.random.default_rng(3)
+        arrays = [rng.normal(size=(8, 8)).astype(np.float32) for _ in range(4)]
+        expected = arrays[0].copy()
+        for a in arrays[1:]:
+            expected += a
+        results = sim.comm.all_reduce(arrays)
+        assert len(results) == 4
+        for out in results:
+            np.testing.assert_array_equal(out, expected)  # bit-identical
+        # Results are copies, not views of one shared buffer.
+        results[0][0, 0] += 1.0
+        np.testing.assert_array_equal(results[1], expected)
+
+    def test_charges_allreduce_time(self, sim):
+        arrays = [np.ones(1024, dtype=np.float32) for _ in range(4)]
+        sim.comm.all_reduce(arrays)
+        events = sim.timeline.events_in_category(EventCategory.ALLREDUCE)
+        assert {e.rank for e in events} == {0, 1, 2, 3}
+
+    def test_shape_mismatch_rejected(self, sim):
+        arrays = [np.ones(4), np.ones(4), np.ones(5), np.ones(4)]
+        with pytest.raises(ValueError, match="shape"):
+            sim.comm.all_reduce(arrays)
+
+    def test_wrong_count_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.comm.all_reduce([np.ones(4)] * 3)
+
+    def test_dtype_mismatch_rejected(self, sim):
+        """Mixed dtypes would silently accumulate in arrays[0]'s dtype (or
+        crash in numpy), breaking the bit-for-bit guarantee — reject early."""
+        arrays = [np.ones(4, dtype=np.float32) for _ in range(3)]
+        arrays.append(np.ones(4, dtype=np.float64))
+        with pytest.raises(ValueError, match="dtype"):
+            sim.comm.all_reduce(arrays)
+
+
+class TestBroadcast:
+    def test_everyone_gets_roots_payload(self, sim):
+        out = sim.comm.broadcast(b"plan", root=2)
+        assert out == [b"plan"] * 4
+        assert sim.makespan() > 0.0
+
+    def test_mutable_payloads_not_aliased_across_ranks(self, sim):
+        out = sim.comm.broadcast(np.zeros(4))
+        out[1][0] += 1.0
+        np.testing.assert_array_equal(out[0], np.zeros(4))
+        out2 = sim.comm.broadcast(bytearray(b"abc"))
+        out2[1][0] = ord("z")
+        assert out2[0] == bytearray(b"abc")
+
+    def test_single_rank_free(self):
+        sim = ClusterSimulator(1)
+        assert sim.comm.broadcast(b"plan") == [b"plan"]
+        assert sim.makespan() == 0.0
+
+    def test_bad_root_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.comm.broadcast(b"x", root=4)
+
+
+class TestClusterSimulator:
+    def test_compute_advances_only_that_rank(self, sim):
+        end = sim.compute(1, 0.25, EventCategory.COMPRESS)
+        assert end == pytest.approx(0.25)
+        assert sim.now(1) == pytest.approx(0.25)
+        assert sim.now(0) == 0.0
+        assert sim.clocks == (0.0, 0.25, 0.0, 0.0)
+
+    def test_collective_waits_for_straggler(self, sim):
+        sim.compute(2, 1.0, EventCategory.COMPRESS)
+        end = sim.collective(0.5, EventCategory.ALLTOALL_FWD)
+        assert end == pytest.approx(1.5)
+        assert sim.clocks == (1.5, 1.5, 1.5, 1.5)
+        events = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        assert all(e.start == pytest.approx(1.0) for e in events)
+
+    def test_barrier_syncs_without_event(self, sim):
+        sim.compute(0, 2.0, EventCategory.COMPRESS)
+        n_events = len(sim.timeline)
+        assert sim.barrier() == pytest.approx(2.0)
+        assert sim.clocks == (2.0, 2.0, 2.0, 2.0)
+        assert len(sim.timeline) == n_events
+
+    def test_reset(self, sim):
+        sim.compute(0, 1.0, EventCategory.COMPRESS)
+        sim.reset()
+        assert sim.makespan() == 0.0
+        assert len(sim.timeline) == 0
+
+    def test_owns_cost_models_and_communicator(self, sim):
+        assert sim.gpu is not None
+        assert sim.network is not None
+        assert isinstance(sim.comm, Communicator)
+        assert sim.comm.simulator is sim
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            ClusterSimulator(0)
+        with pytest.raises(ValueError):
+            sim.compute(4, 1.0, EventCategory.COMPRESS)
+        with pytest.raises(ValueError):
+            sim.compute(0, -1.0, EventCategory.COMPRESS)
+        with pytest.raises(ValueError):
+            sim.collective(float("nan"), EventCategory.ALLTOALL_FWD)
+
+    def test_repr(self, sim):
+        assert "n_ranks=4" in repr(sim)

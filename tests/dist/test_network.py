@@ -1,0 +1,132 @@
+"""Tests for the alpha-beta network cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import NetworkModel, PAPER_FABRIC
+
+
+def uniform_matrix(n: int, nbytes: float) -> np.ndarray:
+    return np.full((n, n), nbytes, dtype=np.float64)
+
+
+class TestPointToPoint:
+    def test_alpha_beta_decomposition(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        assert net.point_to_point_time(0) == pytest.approx(1e-6)
+        assert net.point_to_point_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().point_to_point_time(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=1e9, latency=-1.0)
+
+
+class TestAllToAll:
+    def test_bigger_payload_costs_more(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        small = net.all_to_all_time(uniform_matrix(8, 1_000))
+        large = net.all_to_all_time(uniform_matrix(8, 1_000_000))
+        assert large > small
+
+    def test_lower_bandwidth_costs_more(self):
+        matrix = uniform_matrix(8, 1_000_000)
+        fast = NetworkModel(bandwidth=10e9, latency=1e-6)
+        slow = NetworkModel(bandwidth=1e9, latency=1e-6)
+        assert slow.all_to_all_time(matrix) > fast.all_to_all_time(matrix)
+
+    def test_diagonal_is_free(self):
+        net = NetworkModel(bandwidth=1e9, latency=0.0)
+        only_self = np.diag([1e9, 1e9, 1e9]).astype(float)
+        assert net.all_to_all_time(only_self) == 0.0
+
+    def test_bottlenecked_by_busiest_port(self):
+        """One hot sender sets the pace even if everyone else is idle."""
+        net = NetworkModel(bandwidth=1e9, latency=0.0)
+        matrix = np.zeros((4, 4))
+        matrix[2, :] = 1e9  # rank 2 sends 1 GB to everyone
+        # 3 GB egress on rank 2 (self excluded) at 1 GB/s.
+        assert net.all_to_all_time(matrix) == pytest.approx(3.0)
+
+    def test_ingress_can_be_the_bottleneck(self):
+        net = NetworkModel(bandwidth=1e9, latency=0.0)
+        matrix = np.zeros((4, 4))
+        matrix[:, 1] = 1e9  # everyone sends rank 1 a gigabyte
+        assert net.all_to_all_time(matrix) == pytest.approx(3.0)
+
+    def test_single_rank_is_free(self):
+        assert NetworkModel().all_to_all_time(np.array([[123.0]])) == 0.0
+
+    def test_latency_scales_with_cluster_size(self):
+        net = NetworkModel(bandwidth=1e12, latency=1e-3)
+        t4 = net.all_to_all_time(uniform_matrix(4, 1.0))
+        t8 = net.all_to_all_time(uniform_matrix(8, 1.0))
+        assert t8 > t4
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            NetworkModel().all_to_all_time(np.zeros((2, 3)))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().all_to_all_time(np.full((2, 2), -1.0))
+
+    def test_uniform_helper_matches_matrix_form(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        n, per_pair = 8, 4096.0
+        expected = net.all_to_all_time(uniform_matrix(n, per_pair))
+        assert net.uniform_all_to_all_time(per_pair, n) == pytest.approx(expected)
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.floats(min_value=1.0, max_value=1e9),
+        st.floats(min_value=1e6, max_value=1e12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_bytes_and_bandwidth(self, n, nbytes, bandwidth):
+        net = NetworkModel(bandwidth=bandwidth, latency=1e-6)
+        t = net.all_to_all_time(uniform_matrix(n, nbytes))
+        assert t >= net.all_to_all_time(uniform_matrix(n, nbytes / 2))
+        slower = NetworkModel(bandwidth=bandwidth / 2, latency=1e-6)
+        assert slower.all_to_all_time(uniform_matrix(n, nbytes)) >= t
+
+
+class TestAllReduce:
+    def test_bigger_payload_costs_more(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        assert net.all_reduce_time(1e8, 8) > net.all_reduce_time(1e6, 8)
+
+    def test_lower_bandwidth_costs_more(self):
+        slow = NetworkModel(bandwidth=1e9, latency=1e-6)
+        fast = NetworkModel(bandwidth=4e9, latency=1e-6)
+        assert slow.all_reduce_time(1e8, 8) > fast.all_reduce_time(1e8, 8)
+
+    def test_ring_formula(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        n, nbytes = 4, 1e9
+        expected = 2 * 3 * 1e-6 + 2 * 3 / 4 * 1.0
+        assert net.all_reduce_time(nbytes, n) == pytest.approx(expected)
+
+    def test_single_rank_is_free(self):
+        assert NetworkModel().all_reduce_time(1e9, 1) == 0.0
+
+    def test_bandwidth_term_approaches_2x_volume(self):
+        """Ring all-reduce moves ~2x the buffer regardless of scale."""
+        net = NetworkModel(bandwidth=1e9, latency=0.0)
+        assert net.all_reduce_time(1e9, 64) == pytest.approx(2 * 63 / 64, rel=1e-12)
+
+
+class TestPaperFabric:
+    def test_paper_effective_bandwidth(self):
+        """The default fabric is the paper's 4 GB/s all-to-all setting."""
+        assert PAPER_FABRIC.bandwidth == pytest.approx(4 * 1024**3)
+        assert NetworkModel() == PAPER_FABRIC

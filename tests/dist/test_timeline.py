@@ -1,0 +1,84 @@
+"""Tests for the event timeline and category ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist import EventCategory, Timeline
+from repro.profiling.breakdown import CATEGORY_LABELS
+
+
+class TestEventCategory:
+    def test_all_fifteen_stages_present(self):
+        assert len(list(EventCategory)) == 15
+
+    def test_labels_cover_every_category(self):
+        assert set(CATEGORY_LABELS) == set(EventCategory)
+
+    def test_members_behave_as_strings(self):
+        assert EventCategory.COMPRESS == "compress"
+        assert str(EventCategory.ALLTOALL_FWD) == "alltoall_fwd"
+        # Plain-string dict keys resolve through enum members and back.
+        d = {"compress": 1.0}
+        assert d[EventCategory.COMPRESS] == 1.0
+
+    def test_communication_subset(self):
+        comm = EventCategory.COMMUNICATION
+        assert EventCategory.ALLTOALL_FWD in comm
+        assert EventCategory.ALLTOALL_BWD in comm
+        assert EventCategory.METADATA in comm
+        assert EventCategory.ALLREDUCE in comm
+        assert EventCategory.COMPRESS not in comm
+        assert EventCategory.DECOMPRESS not in comm
+
+
+class TestTimeline:
+    def test_record_and_query(self):
+        tl = Timeline()
+        e = tl.record(0, EventCategory.COMPRESS, 1.0, 0.5)
+        assert e.end == pytest.approx(1.5)
+        assert len(tl) == 1
+        assert tl.events_for_rank(0) == [e]
+        assert tl.events_for_rank(1) == []
+        assert tl.events_in_category(EventCategory.COMPRESS) == [e]
+
+    def test_per_rank_aggregation(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(0, EventCategory.COMPRESS, 1.0, 2.0)
+        tl.record(0, EventCategory.ALLTOALL_FWD, 3.0, 4.0)
+        tl.record(1, EventCategory.COMPRESS, 0.0, 8.0)
+        by_rank0 = tl.total_by_category(rank=0)
+        assert by_rank0[EventCategory.COMPRESS] == pytest.approx(3.0)
+        assert by_rank0[EventCategory.ALLTOALL_FWD] == pytest.approx(4.0)
+        assert EventCategory.COMPRESS in tl.total_by_category(rank=1)
+        assert tl.total_by_category(rank=1)[EventCategory.COMPRESS] == pytest.approx(8.0)
+
+    def test_all_rank_aggregation_sums_everyone(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(1, EventCategory.COMPRESS, 0.0, 2.0)
+        assert tl.total_by_category()[EventCategory.COMPRESS] == pytest.approx(3.0)
+
+    def test_span(self):
+        tl = Timeline()
+        assert tl.span() == 0.0
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(1, EventCategory.COMPRESS, 5.0, 2.5)
+        assert tl.span() == pytest.approx(7.5)
+        assert tl.span(rank=0) == pytest.approx(1.0)
+
+    def test_ranks(self):
+        tl = Timeline()
+        tl.record(3, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(1, EventCategory.COMPRESS, 0.0, 1.0)
+        assert tl.ranks() == [1, 3]
+
+    def test_validation(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.record(-1, EventCategory.COMPRESS, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.record(0, EventCategory.COMPRESS, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.record(0, EventCategory.COMPRESS, 0.0, -1.0)
