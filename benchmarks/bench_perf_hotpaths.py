@@ -1,0 +1,133 @@
+"""Throughput tracking for the compression hot paths (this repo's own claim).
+
+Unlike the ``bench_fig*``/``bench_table*`` files, which regenerate results
+of the *paper*, this benchmark tracks a property of the *reproduction*: the
+vectorized codec kernels must stay NumPy-speed.  It times every hot kernel
+on the paper's table shapes against the frozen seed implementations
+(``_reference_*``), asserts the headline speedups of the vectorization PR
+(>= 5x vector-LZ decode, >= 3x Huffman decode on the large shapes), and
+checks the committed ``BENCH_compression.json`` trajectory point.
+
+Regenerate the committed baseline with::
+
+    PYTHONPATH=src python -m repro.profiling.perfbench --out BENCH_compression.json
+
+CI's perf-smoke step runs the same harness with ``--smoke --check``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.profiling.perfbench import (
+    PAPER_SHAPES,
+    compare_to_baseline,
+    format_table,
+    load_bench,
+    run_suite,
+)
+
+from conftest import write_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_compression.json"
+
+#: the shapes whose payloads are large enough for throughput (rather than
+#: per-call overhead) to dominate — where the PR's speedup claims live
+LARGE_SHAPES = ("terabyte", "cluster")
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_suite(repeats=9)
+
+
+def _by_key(records):
+    return {(r.codec, r.op, r.shape_name): r for r in records}
+
+
+def test_report(records):
+    write_result("perf_hotpaths", format_table(records))
+
+
+def test_every_kernel_covered_on_every_shape(records):
+    keys = {(r.codec, r.op) for r in records}
+    expected = {
+        ("quantizer", "quantize"),
+        ("vector_lz", "encode"),
+        ("vector_lz", "decode"),
+        ("huffman", "encode"),
+        ("huffman", "decode"),
+        ("lz4_like", "encode"),
+        ("lz4_like", "decode"),
+        ("fzgpu_like", "pack"),
+        ("fzgpu_like", "unpack"),
+    }
+    assert keys == expected
+    for shape in PAPER_SHAPES:
+        assert sum(r.shape_name == shape for r in records) == len(expected)
+
+
+def _aggregate_speedup(records, codec: str, op: str, shapes=LARGE_SHAPES) -> float:
+    """Throughput-weighted speedup over a set of shapes: total reference
+    time over total vectorized time for the same decode workload."""
+    rows = [
+        r for r in records
+        if r.codec == codec and r.op == op and r.shape_name in shapes
+    ]
+    assert rows and all(r.reference_seconds is not None for r in rows)
+    return sum(r.reference_seconds for r in rows) / sum(r.seconds for r in rows)
+
+
+def test_vector_lz_decode_speedup(records):
+    """Tentpole claim: >= 5x over the seed's per-row decode loop on the
+    paper's default (large) table shapes."""
+    by_key = _by_key(records)
+    aggregate = _aggregate_speedup(records, "vector_lz", "decode")
+    assert aggregate >= 5.0, f"vector-LZ decode aggregate speedup {aggregate:.2f}"
+    speedup = by_key[("vector_lz", "decode", "terabyte")].speedup
+    assert speedup is not None and speedup >= 5.0, f"vector-LZ decode speedup {speedup}"
+    for shape in LARGE_SHAPES:
+        s = by_key[("vector_lz", "decode", shape)].speedup
+        assert s is not None and s >= 3.0, f"vector-LZ decode [{shape}] speedup {s}"
+
+
+def test_huffman_decode_speedup(records):
+    """Tentpole claim: >= 3x over the seed's per-symbol jump-chain walk on
+    the paper's default (large) table shapes."""
+    by_key = _by_key(records)
+    aggregate = _aggregate_speedup(records, "huffman", "decode")
+    assert aggregate >= 3.0, f"Huffman decode aggregate speedup {aggregate:.2f}"
+    for shape in LARGE_SHAPES:
+        s = by_key[("huffman", "decode", shape)].speedup
+        assert s is not None and s >= 2.0, f"Huffman decode [{shape}] speedup {s}"
+
+
+def test_baseline_speedups_not_regressed(records):
+    """The vectorized baselines must at least match their seed versions."""
+    by_key = _by_key(records)
+    for codec, op in (("lz4_like", "encode"), ("fzgpu_like", "pack"), ("fzgpu_like", "unpack")):
+        for shape in LARGE_SHAPES:
+            s = by_key[(codec, op, shape)].speedup
+            assert s is not None and s >= 1.0, f"{codec}.{op} [{shape}] speedup {s}"
+
+
+def test_committed_trajectory_point_exists():
+    """BENCH_compression.json is the perf trajectory's first point: it must
+    exist, parse, and cover the same kernels this suite measures."""
+    assert BENCH_JSON.exists(), "run python -m repro.profiling.perfbench --out BENCH_compression.json"
+    baseline = load_bench(BENCH_JSON)
+    keys = {(r.codec, r.op, r.shape_name) for r in baseline}
+    assert {("vector_lz", "decode", "terabyte"), ("huffman", "decode", "terabyte")} <= keys
+    for record in baseline:
+        assert record.seconds > 0 and record.throughput_mb_s > 0
+
+
+def test_current_run_within_regression_gate(records):
+    """The same 3x gate CI applies: current throughput must not have fallen
+    more than 3x below the committed baseline on any kernel."""
+    baseline = load_bench(BENCH_JSON)
+    failures = compare_to_baseline(records, baseline, max_regression=3.0)
+    assert not failures, "\n".join(failures)

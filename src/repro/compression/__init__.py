@@ -6,6 +6,7 @@ plus from-scratch implementations of every baseline it compares against.
 """
 
 from repro.compression.base import CompressionResult, Compressor, parse_payload
+from repro.compression.cache import EncoderPinCache, LruCache, TableCodebookCache
 from repro.compression.calibration import calibrate_profile
 from repro.compression.baselines import (
     CuszLikeCompressor,
@@ -64,4 +65,7 @@ __all__ = [
     "available_compressors",
     "decompress_any",
     "calibrate_profile",
+    "LruCache",
+    "TableCodebookCache",
+    "EncoderPinCache",
 ]

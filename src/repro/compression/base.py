@@ -120,6 +120,18 @@ class Compressor(ABC):
             raise AssertionError(f"{self.name}: decoded shape {array.shape} != {shape}")
         return array
 
+    def compress_keyed(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None = None
+    ) -> bytes:
+        """Compress with a stable per-stream identity (e.g. a table id).
+
+        The key lets stateful codecs reuse work across iterations of the
+        same table (cached codebooks, pinned encoder choices).  The base
+        implementation ignores the key; payloads remain self-describing
+        either way, so :meth:`decompress` is unaffected.
+        """
+        return self.compress(array, error_bound)
+
     def compress_with_stats(self, array: np.ndarray, error_bound: float | None = None) -> CompressionResult:
         """Compress and return payload together with ratio accounting."""
         array = np.ascontiguousarray(array)

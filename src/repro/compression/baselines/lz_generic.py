@@ -55,8 +55,117 @@ def _write_varnibble(out: bytearray, value: int) -> None:
     out.append(value)
 
 
+def _previous_same_hash(hashes: np.ndarray) -> np.ndarray:
+    """``prev[i]`` = largest ``j < i`` with ``hashes[j] == hashes[i]``, else -1.
+
+    Vectorized replacement for the sequential hash-table scan: a stable
+    argsort groups equal hashes while preserving position order, so each
+    element's predecessor within its group is its most recent prior
+    occurrence.
+    """
+    order = np.argsort(hashes, kind="stable")
+    prev = np.full(hashes.size, -1, dtype=np.int64)
+    if hashes.size > 1:
+        same = hashes[order[1:]] == hashes[order[:-1]]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _match_extension(arr: np.ndarray, a: int, b: int) -> int:
+    """Longest common run of ``arr[a + k] == arr[b + k]`` with ``b + k < n``.
+
+    Compares in geometrically growing blocks so short matches stay cheap
+    and long matches run at memcmp speed.
+    """
+    max_k = arr.size - b
+    total = 0
+    block = 32
+    while total < max_k:
+        m = min(block, max_k - total)
+        diff = arr[a + total : a + total + m] != arr[b + total : b + total + m]
+        if diff.any():
+            return total + int(np.argmax(diff))
+        total += m
+        block = min(block * 2, 1 << 16)
+    return max_k
+
+
 def lz77_encode_bytes(data: bytes, window: int = DEFAULT_BYTE_WINDOW) -> bytes:
-    """Greedy hash-table LZ77 over raw bytes with the given window."""
+    """Greedy hash-table LZ77 over raw bytes with the given window.
+
+    Produces the byte stream of the original sequential encoder (the
+    ``_reference_lz77_encode_bytes`` oracle) but finds matches vectorized:
+    because the sequential scan inserts every position it passes, a
+    position's candidate is always *the most recent earlier position in the
+    same hash bucket* — a parse-independent quantity.  All candidates,
+    window checks, and 4-byte verifications are precomputed with NumPy; the
+    remaining Python loop runs once per emitted match token (never per
+    byte), leaping between match sites with ``searchsorted``.
+    """
+    n = len(data)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    window = min(window, MAX_OFFSET)
+    out = bytearray()
+    if n == 0:
+        return bytes(out)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    if n >= MIN_MATCH:
+        u32 = (
+            arr[: n - 3].astype(np.uint32)
+            | (arr[1 : n - 2].astype(np.uint32) << np.uint32(8))
+            | (arr[2 : n - 1].astype(np.uint32) << np.uint32(16))
+            | (arr[3:n].astype(np.uint32) << np.uint32(24))
+        )
+        # uint16 hash keys (14 bits used) make the stable argsort inside
+        # _previous_same_hash a 2-byte radix sort — ~10x faster than int64.
+        hashes = ((u32 * np.uint32(2654435761)) >> np.uint32(32 - _HASH_BITS)).astype(
+            np.uint16
+        )
+        prev = _previous_same_hash(hashes)
+        candidates = np.flatnonzero(prev >= 0)
+        verified = (candidates - prev[candidates] <= window) & (
+            u32[candidates] == u32[prev[candidates]]
+        )
+        match_sites = candidates[verified]
+    else:
+        prev = np.empty(0, dtype=np.int64)
+        match_sites = np.empty(0, dtype=np.int64)
+    pos = 0
+    literal_start = 0
+    while True:
+        site = int(np.searchsorted(match_sites, pos))
+        if site >= match_sites.size:
+            break
+        pos = int(match_sites[site])
+        candidate = int(prev[pos])
+        match_len = MIN_MATCH + _match_extension(arr, candidate + MIN_MATCH, pos + MIN_MATCH)
+        lit_len = pos - literal_start
+        token_lit = min(lit_len, 15)
+        token_match = min(match_len - MIN_MATCH, 15)
+        out.append((token_lit << 4) | token_match)
+        if token_lit == 15:
+            _write_varnibble(out, lit_len)
+        out.extend(data[literal_start:pos])
+        offset = pos - candidate
+        out.extend(offset.to_bytes(2, "little"))
+        if token_match == 15:
+            _write_varnibble(out, match_len - MIN_MATCH)
+        pos += match_len
+        literal_start = pos
+    # Final literals-only token.
+    lit_len = n - literal_start
+    token_lit = min(lit_len, 15)
+    out.append(token_lit << 4)
+    if token_lit == 15:
+        _write_varnibble(out, lit_len)
+    out.extend(data[literal_start:n])
+    return bytes(out)
+
+
+def _reference_lz77_encode_bytes(data: bytes, window: int = DEFAULT_BYTE_WINDOW) -> bytes:
+    """The seed's original sequential encoder, frozen as the differential
+    oracle: per-position hash-table updates and per-byte match extension."""
     n = len(data)
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
@@ -132,7 +241,44 @@ def _read_varnibble(data: bytes | memoryview, pos: int, nibble: int) -> tuple[in
 
 
 def lz77_decode_bytes(stream: bytes | memoryview, expected_size: int) -> bytes:
-    """Invert :func:`lz77_encode_bytes`."""
+    """Invert :func:`lz77_encode_bytes`.
+
+    Match copies run as C-speed slice operations: non-overlapping matches
+    are a single slice copy, overlapping ones replicate the ``offset``-byte
+    period — identical output to the byte-at-a-time reference.
+    """
+    out = bytearray()
+    pos = 0
+    n = len(stream)
+    while pos < n:
+        token = stream[pos]
+        pos += 1
+        lit_len, pos = _read_varnibble(stream, pos, token >> 4)
+        out.extend(stream[pos : pos + lit_len])
+        pos += lit_len
+        if pos >= n:
+            break  # literals-only tail token
+        offset = int.from_bytes(stream[pos : pos + 2], "little")
+        pos += 2
+        match_len, pos = _read_varnibble(stream, pos, token & 0xF)
+        match_len += MIN_MATCH
+        if offset == 0 or offset > len(out):
+            raise ValueError(f"corrupt LZ77 stream: offset {offset} at output size {len(out)}")
+        start = len(out) - offset
+        if offset >= match_len:
+            out += out[start : start + match_len]
+        else:
+            # Overlapping match: the copy region is periodic in `offset`.
+            period = bytes(out[start:])
+            repeats = -(-match_len // offset)
+            out += (period * repeats)[:match_len]
+    if len(out) != expected_size:
+        raise ValueError(f"corrupt LZ77 stream: decoded {len(out)} bytes, expected {expected_size}")
+    return bytes(out)
+
+
+def _reference_lz77_decode_bytes(stream: bytes | memoryview, expected_size: int) -> bytes:
+    """The seed's original byte-at-a-time decoder, frozen as the oracle."""
     out = bytearray()
     pos = 0
     n = len(stream)

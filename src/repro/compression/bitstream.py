@@ -16,9 +16,56 @@ import numpy as np
 __all__ = ["pack_codes", "unpack_fixed", "bits_to_bytes", "pack_fixed"]
 
 
+def _reference_unpack_fixed(
+    packed: np.ndarray, count: int, width: int, bit_offset: int = 0
+) -> np.ndarray:
+    """The seed's original 8-byte-gather fixed-width reader, frozen verbatim
+    as part of the differential/benchmark oracle."""
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    if width < 0 or width > 57:
+        raise ValueError(f"width must be in [0, 57], got {width}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    starts = bit_offset + np.arange(count, dtype=np.int64) * width
+    last_bit = int(starts[-1]) + width
+    if last_bit > packed.size * 8:
+        raise ValueError(f"stream too short: need {last_bit} bits, have {packed.size * 8}")
+    byte_start = (starts >> 3).astype(np.int64)
+    padded = np.concatenate([packed, np.zeros(8, dtype=np.uint8)])
+    gathered = np.zeros(count, dtype=np.uint64)
+    for k in range(8):
+        gathered = (gathered << np.uint64(8)) | padded[byte_start + k].astype(np.uint64)
+    offset_in_byte = (starts & 7).astype(np.uint64)
+    shift = np.uint64(64) - offset_in_byte - np.uint64(width)
+    mask = np.uint64((1 << width) - 1)
+    return (gathered >> shift) & mask
+
+
 def bits_to_bytes(nbits: int) -> int:
     """Number of bytes needed to hold ``nbits`` bits."""
     return (int(nbits) + 7) // 8
+
+
+def word_table(data: np.ndarray, width: int) -> tuple[np.ndarray, type, int]:
+    """Big-endian byte-combined words for ``width``-bit windows.
+
+    Returns ``(words, dtype, n_bytes)`` where ``n_bytes`` is the number of
+    bytes covering a ``width``-bit window starting at any in-byte offset,
+    and ``words[b]`` combines ``data[b : b + n_bytes]`` big-endian, for
+    every byte position with that many bytes available.  One shift of
+    ``words[b]`` then extracts any window starting inside byte ``b`` — the
+    shared building block of the vectorized fixed-width reader and the
+    Huffman sliding-window peek.
+    """
+    n_bytes = (width + 14) // 8
+    dtype = np.uint32 if n_bytes <= 4 else np.uint64
+    n_words = data.size - n_bytes + 1
+    words = np.zeros(n_words, dtype=dtype)
+    for k in range(n_bytes):
+        words = (words << dtype(8)) | data[k : k + n_words]
+    return words, dtype, n_bytes
 
 
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
@@ -94,19 +141,20 @@ def unpack_fixed(packed: np.ndarray, count: int, width: int, bit_offset: int = 0
     packed = np.asarray(packed, dtype=np.uint8)
     if count == 0:
         return np.zeros(0, dtype=np.uint64)
-    starts = bit_offset + np.arange(count, dtype=np.int64) * width
-    last_bit = int(starts[-1]) + width
+    last_bit = bit_offset + count * width
     if last_bit > packed.size * 8:
         raise ValueError(f"stream too short: need {last_bit} bits, have {packed.size * 8}")
-    byte_start = (starts >> 3).astype(np.int64)
-    # A width<=57 value starting mid-byte spans at most 8 bytes.
+    if width == 8 and bit_offset % 8 == 0:
+        # Byte-aligned bytes: the packed stream IS the values.
+        first = bit_offset // 8
+        return packed[first : first + count].astype(np.uint64)
+    starts = bit_offset + np.arange(count, dtype=np.int64) * width
+    # Combine each run of bytes into one word per byte position, then a
+    # single gather + shift extracts every value (a width<=57 value
+    # starting mid-byte spans at most 8 bytes).
     padded = np.concatenate([packed, np.zeros(8, dtype=np.uint8)])
-    gathered = np.zeros(count, dtype=np.uint64)
-    for k in range(8):
-        gathered = (gathered << np.uint64(8)) | padded[byte_start + k].astype(np.uint64)
-    # gathered now holds 64 bits beginning at byte_start*8; shift the target
-    # window (starting at bit offset within byte) down to the low bits.
-    offset_in_byte = (starts & 7).astype(np.uint64)
-    shift = np.uint64(64) - offset_in_byte - np.uint64(width)
-    mask = np.uint64((1 << width) - 1)
-    return (gathered >> shift) & mask
+    words, dtype, n_bytes = word_table(padded, width)
+    byte_start = starts >> 3
+    shift = (dtype(n_bytes * 8 - width) - (starts & 7).astype(dtype)).astype(dtype)
+    mask = dtype((1 << width) - 1)
+    return ((np.take(words, byte_start) >> shift) & mask).astype(np.uint64)

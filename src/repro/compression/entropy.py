@@ -5,6 +5,13 @@ This is the entropy leg of the paper's hybrid compressor.  Per observation
 concentrate into few bins, which canonical Huffman exploits directly —
 *without* a prediction stage, per observation ❶ (false prediction: Lorenzo
 predictors turn identical vectors into distinct residuals and raise entropy).
+
+When constructed with a :class:`~repro.compression.cache.TableCodebookCache`
+and driven through :meth:`Compressor.compress_keyed`, the canonical codebook
+built for a table is reused across iterations while it still covers the new
+batch's symbols and is within the cache's refresh window — skipping the
+Huffman tree construction on the training hot path.  Payloads always ship
+their code-length table, so decompression is oblivious to caching.
 """
 
 from __future__ import annotations
@@ -14,12 +21,15 @@ from typing import Any
 import numpy as np
 
 from repro.compression.base import Compressor
+from repro.compression.cache import TableCodebookCache
 from repro.compression.huffman import (
     DEFAULT_CHUNK_SYMBOLS,
     DEFAULT_MAX_CODE_LENGTH,
     HuffmanEncoded,
+    canonical_codes,
     huffman_decode,
     huffman_encode,
+    huffman_encode_with_book,
 )
 from repro.compression.quantizer import quantize_batch
 
@@ -36,6 +46,9 @@ class EntropyCompressor(Compressor):
     chunk_symbols:
         Symbols per independently decodable chunk, mirroring the paper's
         chunk-parallel GPU decompression.
+    codebook_cache:
+        Optional per-table codebook reuse across iterations; only active
+        for calls through :meth:`compress_keyed`.
     """
 
     name = "entropy"
@@ -46,6 +59,7 @@ class EntropyCompressor(Compressor):
         self,
         max_code_length: int = DEFAULT_MAX_CODE_LENGTH,
         chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+        codebook_cache: TableCodebookCache | None = None,
     ):
         if max_code_length < 1:
             raise ValueError(f"max_code_length must be >= 1, got {max_code_length}")
@@ -53,15 +67,50 @@ class EntropyCompressor(Compressor):
             raise ValueError(f"chunk_symbols must be >= 1, got {chunk_symbols}")
         self.max_code_length = int(max_code_length)
         self.chunk_symbols = int(chunk_symbols)
+        self.codebook_cache = codebook_cache
+        self._active_key: Any = None
+
+    def compress_keyed(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None = None
+    ) -> bytes:
+        self._active_key = table_key
+        try:
+            return self.compress(array, error_bound)
+        finally:
+            self._active_key = None
 
     def _compress_body(self, array: np.ndarray, error_bound: float | None) -> tuple[dict[str, Any], bytes]:
         batch = quantize_batch(array, float(error_bound))
-        encoded = huffman_encode(
-            batch.codes,
-            batch.alphabet_size,
-            max_code_length=self.max_code_length,
-            chunk_symbols=self.chunk_symbols,
-        )
+        symbols = batch.codes.ravel()
+        cache = self.codebook_cache
+        cacheable = cache is not None and self._active_key is not None and symbols.size > 0
+        encoded = None
+        if cacheable:
+            entry = cache.lookup(self._active_key, symbols, batch.code_min)
+            if entry is not None:
+                # lookup() already established coverage; skip re-validation.
+                encoded = huffman_encode_with_book(
+                    symbols,
+                    entry.lengths,
+                    entry.codes,
+                    chunk_symbols=self.chunk_symbols,
+                    validate=False,
+                )
+        if encoded is None:
+            encoded = huffman_encode(
+                batch.codes,
+                batch.alphabet_size,
+                max_code_length=self.max_code_length,
+                chunk_symbols=self.chunk_symbols,
+            )
+            if cacheable:
+                used = np.flatnonzero(encoded.code_lengths)
+                if used.size >= 2:
+                    # Degenerate single-symbol books are cheaper rebuilt (the
+                    # fresh encoder emits zero payload bits for them).
+                    codes = np.zeros(encoded.code_lengths.size, dtype=np.uint64)
+                    codes[used] = canonical_codes(encoded.code_lengths[used])
+                    cache.store(self._active_key, encoded.code_lengths, codes, batch.code_min)
         meta = {
             "eb": batch.error_bound,
             "code_min": batch.code_min,

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.bitstream import pack_codes
+from repro.compression.bitstream import pack_codes, word_table
+from repro.compression.cache import LruCache
 
 __all__ = [
     "huffman_code_lengths",
@@ -36,6 +37,7 @@ __all__ = [
     "build_codebook",
     "HuffmanEncoded",
     "huffman_encode",
+    "huffman_encode_with_book",
     "huffman_decode",
     "DEFAULT_MAX_CODE_LENGTH",
     "DEFAULT_CHUNK_SYMBOLS",
@@ -43,6 +45,12 @@ __all__ = [
 
 DEFAULT_MAX_CODE_LENGTH = 15
 DEFAULT_CHUNK_SYMBOLS = 4096
+
+#: decode-side peek tables keyed by the payload's code-length table; a flat
+#: 2**max_length table is expensive to rebuild and identical across all
+#: payloads produced by the same codebook (every iteration of a cached
+#: table, every chunk of a batch).
+_PEEK_TABLE_CACHE = LruCache(32)
 
 
 def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -241,18 +249,25 @@ def huffman_encode(
         )
     freqs = np.bincount(symbols, minlength=alphabet_size)
     used = np.flatnonzero(freqs)
+    if used.size > (1 << max_code_length):
+        # Fail fast BEFORE the heap-based tree build: limit_code_lengths
+        # would reject this anyway, but only after an O(n log n) Python
+        # loop over every distinct symbol.
+        raise ValueError(
+            f"{used.size} distinct symbols cannot fit in {max_code_length}-bit "
+            "codes; shrink the alphabet (e.g. loosen the error bound) or raise "
+            "max_code_length"
+        )
     if used.size == 1:
         # Degenerate single-symbol stream (e.g. a fully homogenized batch):
         # the code table alone identifies the symbol, no payload bits needed.
         lengths = np.zeros(alphabet_size, dtype=np.int64)
         lengths[used[0]] = 1
-        n_chunks = (symbols.size + chunk_symbols - 1) // chunk_symbols
-        chunk_counts = np.full(n_chunks, chunk_symbols, dtype=np.int64)
-        chunk_counts[-1] = symbols.size - chunk_symbols * (n_chunks - 1)
+        chunk_counts = _chunk_layout(symbols.size, chunk_symbols)
         return HuffmanEncoded(
             payload=np.zeros(0, dtype=np.uint8),
             code_lengths=lengths,
-            chunk_bit_offsets=np.zeros(n_chunks, dtype=np.uint64),
+            chunk_bit_offsets=np.zeros(chunk_counts.size, dtype=np.uint64),
             chunk_symbol_counts=chunk_counts,
             total_symbols=symbols.size,
         )
@@ -262,14 +277,27 @@ def huffman_encode(
     codes = np.zeros(alphabet_size, dtype=np.uint64)
     lengths[used] = dense_book.lengths
     codes[used] = dense_book.codes
+    return _encode_with_tables(symbols, lengths, codes, chunk_symbols)
+
+
+def _chunk_layout(n_symbols: int, chunk_symbols: int) -> np.ndarray:
+    """Per-chunk symbol counts: full chunks plus a short tail."""
+    n_chunks = (n_symbols + chunk_symbols - 1) // chunk_symbols
+    chunk_counts = np.full(n_chunks, chunk_symbols, dtype=np.int64)
+    chunk_counts[-1] = n_symbols - chunk_symbols * (n_chunks - 1)
+    return chunk_counts
+
+
+def _encode_with_tables(
+    symbols: np.ndarray, lengths: np.ndarray, codes: np.ndarray, chunk_symbols: int
+) -> HuffmanEncoded:
+    """Pack ``symbols`` with prebuilt full-alphabet length/code tables."""
     sym_codes = codes[symbols]
     sym_lengths = lengths[symbols]
     # Chunk boundaries in symbol space; bit offsets come from the cumsum.
-    n_chunks = (symbols.size + chunk_symbols - 1) // chunk_symbols
-    chunk_counts = np.full(n_chunks, chunk_symbols, dtype=np.int64)
-    chunk_counts[-1] = symbols.size - chunk_symbols * (n_chunks - 1)
+    chunk_counts = _chunk_layout(symbols.size, chunk_symbols)
     bit_ends = np.cumsum(sym_lengths)
-    chunk_starts_sym = np.arange(n_chunks, dtype=np.int64) * chunk_symbols
+    chunk_starts_sym = np.arange(chunk_counts.size, dtype=np.int64) * chunk_symbols
     chunk_bit_offsets = np.where(
         chunk_starts_sym == 0, 0, bit_ends[chunk_starts_sym - 1]
     ).astype(np.uint64)
@@ -283,27 +311,111 @@ def huffman_encode(
     )
 
 
+def huffman_encode_with_book(
+    symbols: np.ndarray,
+    lengths: np.ndarray,
+    codes: np.ndarray,
+    *,
+    chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+    validate: bool = True,
+) -> HuffmanEncoded:
+    """Entropy-code with a prebuilt (possibly cached/stale) codebook.
+
+    ``lengths``/``codes`` are full-alphabet canonical tables, e.g. from a
+    :class:`repro.compression.cache.TableCodebookCache`.  Every symbol must
+    have an assigned code (length > 0); the caller is responsible for
+    falling back to :func:`huffman_encode` when coverage fails.  The stream
+    ships the supplied length table, so decoding works unchanged.
+
+    Pass ``validate=False`` when coverage was already established (e.g. a
+    codebook-cache hit, whose lookup performed the same O(n) check) to
+    skip the redundant range/coverage gathers on the hot path.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.asarray(codes, dtype=np.uint64)
+    if lengths.shape != codes.shape:
+        raise ValueError(f"lengths/codes shape mismatch: {lengths.shape} vs {codes.shape}")
+    if chunk_symbols < 1:
+        raise ValueError(f"chunk_symbols must be >= 1, got {chunk_symbols}")
+    if symbols.size == 0:
+        return HuffmanEncoded(
+            payload=np.zeros(0, dtype=np.uint8),
+            code_lengths=lengths,
+            chunk_bit_offsets=np.zeros(0, dtype=np.uint64),
+            chunk_symbol_counts=np.zeros(0, dtype=np.int64),
+            total_symbols=0,
+        )
+    if validate:
+        if symbols.min() < 0 or symbols.max() >= lengths.size:
+            raise ValueError(
+                f"symbols out of range [0, {lengths.size}): [{symbols.min()}, {symbols.max()}]"
+            )
+        if (lengths[symbols] == 0).any():
+            raise ValueError("codebook does not cover every symbol in the stream")
+    return _encode_with_tables(symbols, lengths, codes, chunk_symbols)
+
+
 def _sliding_windows(padded: np.ndarray, start_bit: int, count: int, width: int) -> np.ndarray:
     """``width``-bit big-endian windows at every bit offset in
     ``[start_bit, start_bit + count)``.  ``padded`` must carry >= 8 slack
-    bytes past the last window."""
-    positions = start_bit + np.arange(count, dtype=np.int64)
-    byte_start = positions >> 3
-    gathered = np.zeros(count, dtype=np.uint64)
-    for k in range(8):
-        gathered = (gathered << np.uint64(8)) | padded[byte_start + k].astype(np.uint64)
-    shift = np.uint64(64) - (positions & 7).astype(np.uint64) - np.uint64(width)
-    return (gathered >> shift) & np.uint64((1 << width) - 1)
+    bytes past the last window.
+
+    Combines each run of ``ceil((width + 7) / 8)`` bytes into one machine
+    word per *byte* position, then broadcasts the 8 in-byte shifts — all
+    elementwise, no per-bit gathers.  Returns ``uint32`` when the window
+    fits (width <= 25), else ``uint64``.
+    """
+    if count <= 0:
+        return np.zeros(0, dtype=np.uint64)
+    first_byte = start_bit >> 3
+    last_byte = (start_bit + count - 1) >> 3
+    words, dtype, n_bytes = word_table(padded[first_byte : last_byte + 8], width)
+    words = words[: last_byte - first_byte + 1]
+    shifts = dtype(n_bytes * 8 - width) - np.arange(8, dtype=dtype)
+    mask = dtype((1 << width) - 1)
+    windows = ((words[:, None] >> shifts[None, :]) & mask).ravel()
+    offset = start_bit & 7
+    return windows[offset : offset + count]
+
+
+def _peek_tables_for(code_lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """``(table_sym, table_len, max_len)`` for a length table, LRU-cached.
+
+    ``table_sym`` is mapped back onto the full alphabet.  The same codebook
+    recurs across chunks, iterations, and tables, so the flat
+    ``2**max_length`` table is built once per distinct length table.
+    """
+    key = code_lengths.tobytes()
+    cached = _PEEK_TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    used = np.flatnonzero(code_lengths)
+    dense_book = HuffmanCodebook(
+        lengths=code_lengths[used], codes=canonical_codes(code_lengths[used])
+    )
+    max_len = dense_book.max_length
+    table_sym, table_len = dense_book.peek_table()
+    table_sym = used[table_sym]
+    # uint8 lengths (max 57 bits) keep the per-bit-offset gather small.
+    value = (table_sym, table_len.astype(np.uint8), max_len)
+    _PEEK_TABLE_CACHE.put(key, value)
+    return value
 
 
 def huffman_decode(encoded: HuffmanEncoded) -> np.ndarray:
     """Decode a :class:`HuffmanEncoded` stream back to dense symbols.
 
-    Chunks are decoded independently (the Python analogue of the paper's
-    parallel chunk decompression).  Within a chunk, decoding uses the
-    *gap-array* technique of GPU Huffman decoders: speculative peek-table
-    lookups at **every** bit offset are computed vectorized, after which the
-    only sequential work is following the jump chain ``pos += length[pos]``.
+    Fully vectorized gap-array decode (the Python analogue of the paper's
+    chunk-parallel GPU decompression): speculative peek-table lookups at
+    *every* bit offset of the payload yield a successor array
+    ``next[p] = p + code_length_at(p)``, and the per-chunk jump chains —
+    the only sequential dependence in Huffman decoding — are resolved for
+    **all chunks simultaneously** by sequence doubling: the decoded position
+    sequence doubles in length each pass while the successor array composes
+    with itself, so ``chunk_symbols`` symbols need only
+    ``ceil(log2(chunk_symbols))`` batched passes.  Output lands in one
+    preallocated array; no Python lists, no per-symbol work.
     """
     if encoded.total_symbols == 0:
         return np.zeros(0, dtype=np.int64)
@@ -313,6 +425,97 @@ def huffman_decode(encoded: HuffmanEncoded) -> np.ndarray:
         raise ValueError("corrupt stream: no symbols have codes")
     if used.size == 1:
         # Mirror of the encoder's single-symbol fast path.
+        return np.full(encoded.total_symbols, int(used[0]), dtype=np.int64)
+    table_sym, table_len, max_len = _peek_tables_for(lengths)
+    total_bits = encoded.payload.size * 8
+    padded = np.concatenate([encoded.payload, np.zeros(8, dtype=np.uint8)])
+    windows = _sliding_windows(padded, 0, total_bits, max_len)
+    steps = np.take(table_len, windows)  # uint8: code length at every bit offset
+    # Successor array with a self-looping sentinel slot at total_bits; a
+    # zero step (Kraft gap) also self-loops and is caught as corruption.
+    pos_dtype = np.int32 if total_bits < 2**31 - 8 else np.int64
+    successor = np.arange(total_bits + 1, dtype=pos_dtype)
+    successor[:total_bits] += steps
+    np.minimum(successor, pos_dtype(total_bits), out=successor)
+    counts = encoded.chunk_symbol_counts.astype(np.int64)
+    starts = encoded.chunk_bit_offsets.astype(np.int64)
+    if starts.size == 0:
+        raise ValueError("corrupt Huffman stream: symbols recorded but no chunks")
+    if starts.min() < 0 or starts.max() > total_bits:
+        raise ValueError("corrupt Huffman stream: chunk offset outside payload")
+    n_chunks = starts.size
+    max_count = int(counts.max())
+    # Resolve every chunk's jump chain simultaneously.  Composing the full
+    # successor array log2(max_count) times would dominate (the bit domain
+    # is ~10x the symbol count), so instead: compose it only `s` times into
+    # a stride-2**s hop, walk the strided skeleton (max_count / 2**s tiny
+    # cross-chunk steps), then expand each stride segment with 2**s - 1
+    # single-step passes over all segments of all chunks at once.  `s`
+    # balances composition cost (~per-element gather over the bit domain)
+    # against Python-loop iteration overhead in the skeleton walk.
+    _COMPOSE_COST = 1.3e-9  # seconds per successor element per composition
+    _ITERATION_COST = 1.0e-6  # seconds per Python-loop pass (walk or expand)
+    s = min(
+        range(min(13, max_count.bit_length() + 1)),
+        key=lambda k: k * total_bits * _COMPOSE_COST
+        + (((max_count + (1 << k) - 1) >> k) + (1 << k)) * _ITERATION_COST,
+    )
+    stride = 1 << s
+    hop = successor
+    for _ in range(s):
+        hop = np.take(hop, hop)
+    n_segments = (max_count + stride - 1) // stride
+    # Segment-major layout keeps every per-pass write contiguous; the final
+    # transpose+reshape restores (chunk, symbol-index) order in one copy.
+    expanded = np.empty((stride, n_segments, n_chunks), dtype=pos_dtype)
+    skeleton = expanded[0]
+    cursor = starts.astype(pos_dtype)
+    for segment in range(n_segments):
+        skeleton[segment] = cursor
+        if segment + 1 < n_segments:
+            cursor = np.take(hop, cursor)
+    cursor = skeleton
+    for t in range(1, stride):
+        cursor = np.take(successor, cursor)
+        expanded[t] = cursor
+    flat = expanded.transpose(2, 1, 0).reshape(n_chunks, n_segments * stride)
+    if int(counts.min()) == max_count or (counts[:-1] == max_count).all():
+        # Standard layout (all chunks full except possibly the last): the
+        # row-major flatten IS the symbol order; skip the validity mask.
+        seq = flat[:, :max_count].ravel()[: encoded.total_symbols]
+    else:
+        valid = np.arange(max_count)[None, :] < counts[:, None]
+        seq = flat[:, :max_count][valid]
+    seq_clamped = np.minimum(seq, pos_dtype(total_bits - 1))
+    peek_steps = np.take(steps, seq_clamped)
+    if (peek_steps == 0).any() or (seq == total_bits).any():
+        raise ValueError("corrupt Huffman stream: peek hit an unassigned code")
+    return np.take(table_sym, np.take(windows, seq_clamped))
+
+
+def _reference_sliding_windows(
+    padded: np.ndarray, start_bit: int, count: int, width: int
+) -> np.ndarray:
+    """The seed's original per-bit 8-byte-gather window computation, frozen
+    verbatim as part of the differential/benchmark oracle."""
+    positions = start_bit + np.arange(count, dtype=np.int64)
+    byte_start = positions >> 3
+    gathered = np.zeros(count, dtype=np.uint64)
+    for k in range(8):
+        gathered = (gathered << np.uint64(8)) | padded[byte_start + k].astype(np.uint64)
+    shift = np.uint64(64) - (positions & 7).astype(np.uint64) - np.uint64(width)
+    return (gathered >> shift) & np.uint64((1 << width) - 1)
+
+
+def _reference_huffman_decode(encoded: HuffmanEncoded) -> np.ndarray:
+    """Original per-symbol jump-chain walk, kept as the differential oracle."""
+    if encoded.total_symbols == 0:
+        return np.zeros(0, dtype=np.int64)
+    lengths = encoded.code_lengths
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        raise ValueError("corrupt stream: no symbols have codes")
+    if used.size == 1:
         return np.full(encoded.total_symbols, int(used[0]), dtype=np.int64)
     dense_book = HuffmanCodebook(
         lengths=lengths[used], codes=canonical_codes(lengths[used])
@@ -333,8 +536,7 @@ def huffman_decode(encoded: HuffmanEncoded) -> np.ndarray:
             else total_bits
         )
         span = max(end - start, 1)
-        windows = _sliding_windows(padded, start, span, max_len)
-        # Speculative decode at every bit offset; then walk the jump chain.
+        windows = _reference_sliding_windows(padded, start, span, max_len)
         syms = table_sym_np[windows].tolist()
         steps = table_len_np[windows].tolist()
         pos = 0

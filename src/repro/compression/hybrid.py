@@ -11,6 +11,13 @@ optimized Huffman — chosen per embedding table.  Two selection modes:
   :mod:`repro.adaptive.selection`).
 
 The payload embeds which encoder won, so decompression is self-contained.
+
+``auto`` mode's try-both cost can be amortized on training hot loops: with
+``pin_refresh`` set and calls routed through :meth:`compress_keyed`, the
+winning leg for each table is *pinned* and replayed for ``pin_refresh``
+batches before the next try-both trial — per-table winners are extremely
+stable across iterations (Table V), so the trial cost is paid once per
+refresh window instead of every batch.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Any
 import numpy as np
 
 from repro.compression.base import Compressor, parse_payload
+from repro.compression.cache import EncoderPinCache, TableCodebookCache
 from repro.compression.entropy import EntropyCompressor
 from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
 
@@ -41,21 +49,62 @@ class HybridCompressor(Compressor):
         window: int = DEFAULT_WINDOW,
         max_code_length: int | None = None,
         chunk_symbols: int | None = None,
+        pin_refresh: int | None = None,
+        codebook_cache: TableCodebookCache | None = None,
     ):
         if encoder not in _ENCODERS:
             raise ValueError(f"encoder must be one of {_ENCODERS}, got {encoder!r}")
         self.encoder = encoder
         self._lz = VectorLZCompressor(window=window)
-        entropy_kwargs = {}
+        entropy_kwargs: dict[str, Any] = {"codebook_cache": codebook_cache}
         if max_code_length is not None:
             entropy_kwargs["max_code_length"] = max_code_length
         if chunk_symbols is not None:
             entropy_kwargs["chunk_symbols"] = chunk_symbols
         self._entropy = EntropyCompressor(**entropy_kwargs)
+        self.pins = EncoderPinCache(pin_refresh) if pin_refresh is not None else None
 
     @property
     def window(self) -> int:
         return self._lz.window
+
+    def compress_keyed(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None = None
+    ) -> bytes:
+        """Compress with pinned-encoder replay and codebook-cache reuse.
+
+        Without ``pin_refresh`` (or in a pinned ``encoder=`` mode) this
+        forwards the key so the entropy leg can reuse codebooks; in
+        ``auto`` mode with pinning it replays the table's last winner until
+        the pin ages out, then re-runs the try-both trial.
+        """
+        if self.encoder == "lz":
+            return self._lz.compress(array, error_bound)
+        if self.encoder == "huffman":
+            return self._entropy.compress_keyed(table_key, array, error_bound)
+        if self.pins is None or table_key is None:
+            return self._compress_auto(table_key, array, error_bound)
+        pinned = self.pins.pinned(table_key)
+        if pinned == "lz":
+            return self._lz.compress(array, error_bound)
+        if pinned == "huffman":
+            return self._entropy.compress_keyed(table_key, array, error_bound)
+        lz = self._lz.compress(array, error_bound)
+        huff = self._entropy.compress_keyed(table_key, array, error_bound)
+        if len(lz) <= len(huff):
+            self.pins.record_winner(table_key, "lz")
+            return lz
+        self.pins.record_winner(table_key, "huffman")
+        return huff
+
+    def _compress_auto(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None
+    ) -> bytes:
+        candidates = [
+            self._lz.compress(array, error_bound),
+            self._entropy.compress_keyed(table_key, array, error_bound),
+        ]
+        return min(candidates, key=len)
 
     def compress(self, array: np.ndarray, error_bound: float | None = None) -> bytes:
         array = np.ascontiguousarray(array)

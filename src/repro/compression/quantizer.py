@@ -29,7 +29,14 @@ __all__ = [
     "QuantizedBatch",
     "quantize_batch",
     "relative_to_absolute_bound",
+    "DEFAULT_MAX_ALPHABET",
 ]
+
+#: Largest quantization alphabet the lossless encoders accept.  An error
+#: bound tiny relative to the value range explodes the bin count, and a
+#: multi-million-symbol alphabet silently turns Huffman codebook
+#: construction into a memory/time bomb — fail fast instead.
+DEFAULT_MAX_ALPHABET = 1 << 22
 
 
 def relative_to_absolute_bound(array: np.ndarray, relative_bound: float) -> float:
@@ -103,11 +110,30 @@ class QuantizedBatch:
         return dequantize(raw, self.error_bound, self.dtype).reshape(self.shape)
 
 
-def quantize_batch(array: np.ndarray, error_bound: float) -> QuantizedBatch:
-    """Quantize a 2-D float batch into a :class:`QuantizedBatch`."""
+def quantize_batch(
+    array: np.ndarray,
+    error_bound: float,
+    max_alphabet: int = DEFAULT_MAX_ALPHABET,
+) -> QuantizedBatch:
+    """Quantize a 2-D float batch into a :class:`QuantizedBatch`.
+
+    Raises ``ValueError`` when the implied alphabet (``max - min + 1`` over
+    the quantized bins) exceeds ``max_alphabet``: an error bound that is
+    tiny relative to the value range would otherwise hand the downstream
+    entropy coder a multi-million-symbol alphabet.  Pass a larger
+    ``max_alphabet`` to override.
+    """
     array = np.asarray(array)
     codes = quantize(array, error_bound)
     code_min = int(codes.min()) if codes.size else 0
+    if codes.size:
+        alphabet = int(codes.max()) - code_min + 1
+        if alphabet > max_alphabet:
+            raise ValueError(
+                f"quantize_batch: error_bound={error_bound!r} yields an alphabet of "
+                f"{alphabet} symbols (> max_alphabet={max_alphabet}); the bound is too "
+                "tight for this value range — loosen it or raise max_alphabet"
+            )
     shifted = (codes - code_min).astype(np.int64)
     return QuantizedBatch(
         codes=shifted,

@@ -39,6 +39,11 @@ __all__ = [
     "VectorLZCompressor",
 ]
 
+# The GPU decoder resolves match chains in O(log window) batched passes
+# (pointer jumping); chains longer than ~2**60 would overflow the pass
+# counter, far beyond any real batch.
+_MAX_JUMP_PASSES = 64
+
 DEFAULT_WINDOW = 255
 
 
@@ -131,15 +136,65 @@ def vector_lz_encode(codes: np.ndarray, window: int = DEFAULT_WINDOW) -> VectorL
     )
 
 
-def vector_lz_decode(encoded: VectorLZEncoded) -> np.ndarray:
-    """Reconstruct the code array from a :class:`VectorLZEncoded` stream."""
+def _decode_fields(encoded: VectorLZEncoded) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unpack the token stream into ``(is_match, offsets, literal_rows)``."""
     n, d = encoded.n_rows, encoded.dim
-    if n == 0:
-        return np.zeros((0, d), dtype=np.int64)
     is_match = np.unpackbits(encoded.flags, count=n).astype(bool)
     offsets = unpack_fixed(encoded.offsets, encoded.n_matches, encoded.offset_width)
     n_literals = n - encoded.n_matches
     literal_values = unpack_fixed(encoded.literals, n_literals * d, encoded.literal_width)
+    literal_rows = literal_values.reshape(n_literals, d).astype(np.int64)
+    return is_match, offsets, literal_rows
+
+
+def vector_lz_decode(encoded: VectorLZEncoded) -> np.ndarray:
+    """Reconstruct the code array from a :class:`VectorLZEncoded` stream.
+
+    Every row is either a literal or a back-reference to an earlier row, so
+    each row resolves to exactly one literal through a chain of references.
+    Chains are collapsed with batched pointer jumping (``src = src[src]``),
+    which terminates in O(log chain-length) vectorized passes; the decode
+    never touches rows one at a time.
+    """
+    n, d = encoded.n_rows, encoded.dim
+    if n == 0:
+        return np.zeros((0, d), dtype=np.int64)
+    is_match, offsets, literal_rows = _decode_fields(encoded)
+    # src[i]: the earlier row that row i copies (itself for literals).
+    src = np.arange(n, dtype=np.int64)
+    match_positions = np.flatnonzero(is_match)
+    src[match_positions] = match_positions - offsets.astype(np.int64)
+    if src.min() < 0:
+        raise ValueError("corrupt vector-LZ stream: back-reference before row 0")
+    # Pointer jumping: literals are fixed points, matches strictly decrease,
+    # so repeated src[src] reaches the all-literal fixed point.
+    for _ in range(_MAX_JUMP_PASSES):
+        hopped = np.take(src, src)
+        if np.array_equal(hopped, src):
+            break
+        src = hopped
+    if is_match[src].any():
+        raise ValueError("corrupt vector-LZ stream: unresolvable match chain")
+    # Root rows are literals; literal_index maps a literal row position to
+    # its rank in the packed literal block.
+    literal_index = np.cumsum(~is_match) - 1
+    return np.take(literal_rows, np.take(literal_index, src), axis=0)
+
+
+def _reference_vector_lz_decode(encoded: VectorLZEncoded) -> np.ndarray:
+    """Original per-row decode loop (with the seed's original fixed-width
+    bit reader), kept as the differential-test and benchmark oracle."""
+    from repro.compression.bitstream import _reference_unpack_fixed
+
+    n, d = encoded.n_rows, encoded.dim
+    if n == 0:
+        return np.zeros((0, d), dtype=np.int64)
+    is_match = np.unpackbits(encoded.flags, count=n).astype(bool)
+    offsets = _reference_unpack_fixed(encoded.offsets, encoded.n_matches, encoded.offset_width)
+    n_literals = n - encoded.n_matches
+    literal_values = _reference_unpack_fixed(
+        encoded.literals, n_literals * d, encoded.literal_width
+    )
     literal_rows = literal_values.reshape(n_literals, d).astype(np.int64)
     out = np.empty((n, d), dtype=np.int64)
     match_iter = 0
@@ -173,7 +228,11 @@ class VectorLZCompressor(Compressor):
         self.window = int(window)
 
     def _compress_body(self, array: np.ndarray, error_bound: float | None) -> tuple[dict[str, Any], bytes]:
-        batch = quantize_batch(array, float(error_bound))
+        # Vector-LZ stores literals at a fixed bit width (<= 57), so unlike
+        # the entropy leg it tolerates huge alphabets; lift the default cap
+        # to the packing limit rather than inheriting the codebook-oriented
+        # DEFAULT_MAX_ALPHABET.
+        batch = quantize_batch(array, float(error_bound), max_alphabet=1 << 57)
         encoded = vector_lz_encode(batch.codes, self.window)
         meta = {
             "eb": batch.error_bound,

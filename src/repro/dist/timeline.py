@@ -13,8 +13,10 @@ the backward pass, and the dense synchronization/update.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from enum import Enum
+from pathlib import Path
 
 __all__ = ["EventCategory", "TimelineEvent", "Timeline"]
 
@@ -111,3 +113,54 @@ class Timeline:
                 continue
             totals[e.category] = totals.get(e.category, 0.0) + e.duration
         return totals
+
+    # ------------------------------------------------------------- export
+
+    def to_chrome_trace(self, *, process_name: str = "cluster-sim") -> dict:
+        """Export the ledger as Chrome ``chrome://tracing`` / Perfetto JSON.
+
+        Every event becomes a complete-duration (``"ph": "X"``) event with
+        microsecond timestamps; ranks map to thread ids (one lane per
+        simulated GPU) inside a single process, with ``"M"`` metadata
+        events naming the process and each rank's lane.  Load the returned
+        object (or the file written by :meth:`dump_chrome_trace`) directly
+        in ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        trace_events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for rank in self.ranks():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+        for e in self.events:
+            trace_events.append(
+                {
+                    "name": str(e.category),
+                    "cat": "sim",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": e.rank,
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                }
+            )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def dump_chrome_trace(self, path: str | Path, *, process_name: str = "cluster-sim") -> Path:
+        """Write :meth:`to_chrome_trace` JSON to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(process_name=process_name)))
+        return path

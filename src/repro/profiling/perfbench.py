@@ -1,0 +1,386 @@
+"""Throughput benchmark harness for the compression hot paths.
+
+The paper's speedup claim (Figs. 11/12) only holds if compression plus wire
+time beats the raw all-to-all, so codec throughput is a first-class,
+*tracked* quantity in this reproduction.  This module times the hot
+kernels — quantization, vector-LZ encode/decode, Huffman encode/decode, and
+the byte-LZ / bit-plane baselines — on the paper's table shapes, against
+the frozen seed implementations (``_reference_*``), and persists the
+results as machine-readable JSON (``BENCH_compression.json`` at the repo
+root) so every subsequent change has a trajectory to compare against.
+
+Three entry points:
+
+* :func:`run_suite` — measure, returning :class:`PerfRecord` rows.
+* :func:`write_bench` / :func:`load_bench` — persist / read the JSON.
+* :func:`compare_to_baseline` — regression gate used by CI's perf-smoke
+  step (fails on > ``max_regression``x throughput loss per kernel).
+
+CLI::
+
+    python -m repro.profiling.perfbench --out BENCH_compression.json
+    python -m repro.profiling.perfbench --smoke --check BENCH_compression.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.compression.baselines.fzgpu_like import (
+    _reference_pack_bitplanes,
+    _reference_unpack_bitplanes,
+    pack_bitplanes,
+    unpack_bitplanes,
+    zigzag_encode,
+)
+from repro.compression.baselines.lz_generic import (
+    _reference_lz77_decode_bytes,
+    _reference_lz77_encode_bytes,
+    lz77_decode_bytes,
+    lz77_encode_bytes,
+)
+from repro.compression.huffman import (
+    _reference_huffman_decode,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.compression.quantizer import quantize_batch
+from repro.compression.vector_lz import (
+    _reference_vector_lz_decode,
+    vector_lz_decode,
+    vector_lz_encode,
+)
+
+__all__ = [
+    "PerfRecord",
+    "PAPER_SHAPES",
+    "SMOKE_SHAPES",
+    "DEFAULT_ERROR_BOUND",
+    "make_lookup_batch",
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "compare_to_baseline",
+    "format_table",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+#: evaluation geometry: (batch rows, embedding dim) per the paper's setups
+#: (Criteo-Kaggle batch 128, Terabyte batch 2048, Fig.-12 cluster dim 64)
+PAPER_SHAPES: dict[str, tuple[int, int]] = {
+    "kaggle": (128, 32),
+    "terabyte": (2048, 32),
+    "cluster": (4096, 64),
+}
+
+#: single small shape for CI perf-smoke runs
+SMOKE_SHAPES: dict[str, tuple[int, int]] = {"terabyte": (2048, 32)}
+
+DEFAULT_ERROR_BOUND = 1e-2
+_SEED = 2024
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One timed kernel on one table shape."""
+
+    codec: str  # e.g. "vector_lz", "huffman", "quantizer", "lz4_like", "fzgpu_like"
+    op: str  # "encode" | "decode" | "quantize" | "pack" | "unpack"
+    shape_name: str
+    rows: int
+    dim: int
+    input_nbytes: int  # uncompressed float32 bytes the kernel accounts for
+    seconds: float  # best-of wall time of the current implementation
+    throughput_mb_s: float
+    reference_seconds: float | None = None  # frozen seed implementation
+    speedup: float | None = None  # reference_seconds / seconds
+
+    @staticmethod
+    def from_timing(
+        codec: str,
+        op: str,
+        shape_name: str,
+        rows: int,
+        dim: int,
+        input_nbytes: int,
+        seconds: float,
+        reference_seconds: float | None = None,
+    ) -> "PerfRecord":
+        return PerfRecord(
+            codec=codec,
+            op=op,
+            shape_name=shape_name,
+            rows=rows,
+            dim=dim,
+            input_nbytes=input_nbytes,
+            seconds=seconds,
+            throughput_mb_s=input_nbytes / seconds / 1e6,
+            reference_seconds=reference_seconds,
+            speedup=None if reference_seconds is None else reference_seconds / seconds,
+        )
+
+
+def make_lookup_batch(
+    rows: int, dim: int, *, pool: int = 64, cold_fraction: float = 0.1, seed: int = _SEED
+) -> np.ndarray:
+    """A DLRM-like lookup batch: hot rows recur with a skewed distribution.
+
+    Mirrors the unbalanced query pattern the vector-LZ encoder exploits
+    (Section III-D): a small pool of embedding rows sampled Zipf-style with
+    per-lookup noise well below the default error bound (so quantization
+    homogenizes the repeats, the paper's vector-homogenization effect),
+    plus a ``cold_fraction`` of one-off rows that stay literals.
+    """
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0.0, 0.1, size=(pool, dim)).astype(np.float32)
+    ranks = rng.zipf(1.5, size=rows)
+    picks = np.minimum(ranks - 1, pool - 1).astype(np.int64)
+    noise = rng.normal(0.0, 1e-4, size=(rows, dim)).astype(np.float32)
+    batch = base[picks] + noise
+    is_cold = rng.random(rows) < cold_fraction
+    n_cold = int(is_cold.sum())
+    if n_cold:
+        batch[is_cold] = rng.normal(0.0, 0.1, size=(n_cold, dim)).astype(np.float32)
+    return batch
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_suite(
+    shapes: dict[str, tuple[int, int]] | None = None,
+    *,
+    error_bound: float = DEFAULT_ERROR_BOUND,
+    repeats: int = 5,
+    include_reference: bool = True,
+    seed: int = _SEED,
+) -> list[PerfRecord]:
+    """Time every hot kernel on every shape; returns one record per (kernel, shape)."""
+    if shapes is None:
+        shapes = PAPER_SHAPES
+    records: list[PerfRecord] = []
+
+    def add(codec, op, shape_name, rows, dim, nbytes, fn, ref_fn=None):
+        seconds = _best_of(fn, repeats)
+        ref_seconds = (
+            _best_of(ref_fn, repeats) if (ref_fn is not None and include_reference) else None
+        )
+        records.append(
+            PerfRecord.from_timing(codec, op, shape_name, rows, dim, nbytes, seconds, ref_seconds)
+        )
+
+    for shape_name, (rows, dim) in shapes.items():
+        batch = make_lookup_batch(rows, dim, seed=seed)
+        nbytes = batch.nbytes
+
+        add(
+            "quantizer", "quantize", shape_name, rows, dim, nbytes,
+            lambda: quantize_batch(batch, error_bound),
+        )
+        quantized = quantize_batch(batch, error_bound)
+        codes = quantized.codes
+
+        # --- vector-LZ (the paper's LZ leg) ---
+        add(
+            "vector_lz", "encode", shape_name, rows, dim, nbytes,
+            lambda: vector_lz_encode(codes),
+        )
+        lz_stream = vector_lz_encode(codes)
+        add(
+            "vector_lz", "decode", shape_name, rows, dim, nbytes,
+            lambda: vector_lz_decode(lz_stream),
+            lambda: _reference_vector_lz_decode(lz_stream),
+        )
+
+        # --- optimized Huffman (the paper's entropy leg) ---
+        alphabet = quantized.alphabet_size
+        add(
+            "huffman", "encode", shape_name, rows, dim, nbytes,
+            lambda: huffman_encode(codes, alphabet),
+        )
+        huff_stream = huffman_encode(codes, alphabet)
+        add(
+            "huffman", "decode", shape_name, rows, dim, nbytes,
+            lambda: huffman_decode(huff_stream),
+            lambda: _reference_huffman_decode(huff_stream),
+        )
+
+        # --- generic byte-LZ baseline (nvCOMP-LZ4 family) ---
+        raw = batch.tobytes()
+        add(
+            "lz4_like", "encode", shape_name, rows, dim, nbytes,
+            lambda: lz77_encode_bytes(raw),
+            lambda: _reference_lz77_encode_bytes(raw),
+        )
+        byte_stream = lz77_encode_bytes(raw)
+        add(
+            "lz4_like", "decode", shape_name, rows, dim, nbytes,
+            lambda: lz77_decode_bytes(byte_stream, len(raw)),
+            lambda: _reference_lz77_decode_bytes(byte_stream, len(raw)),
+        )
+
+        # --- FZ-GPU-like bit-plane baseline ---
+        unsigned = zigzag_encode(quantized.codes.ravel() + quantized.code_min)
+        add(
+            "fzgpu_like", "pack", shape_name, rows, dim, nbytes,
+            lambda: pack_bitplanes(unsigned, 256),
+            lambda: _reference_pack_bitplanes(unsigned, 256),
+        )
+        bitmap, payload, n_blocks = pack_bitplanes(unsigned, 256)
+        add(
+            "fzgpu_like", "unpack", shape_name, rows, dim, nbytes,
+            lambda: unpack_bitplanes(bitmap, payload, unsigned.size, 256, n_blocks),
+            lambda: _reference_unpack_bitplanes(bitmap, payload, unsigned.size, 256, n_blocks),
+        )
+    return records
+
+
+# --------------------------------------------------------------- persistence
+
+
+def write_bench(records: Iterable[PerfRecord], path: str | Path) -> Path:
+    """Persist records (plus environment provenance) as JSON."""
+    path = Path(path)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "records": [asdict(r) for r in records],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> list[PerfRecord]:
+    """Read records written by :func:`write_bench`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench schema {payload.get('schema_version')!r} in {path}"
+        )
+    return [PerfRecord(**r) for r in payload["records"]]
+
+
+def compare_to_baseline(
+    current: Sequence[PerfRecord],
+    baseline: Sequence[PerfRecord],
+    *,
+    max_regression: float = 3.0,
+) -> list[str]:
+    """Regression check: current throughput must stay within
+    ``max_regression``x of the committed baseline, kernel by kernel.
+
+    The committed baseline may come from a different machine, so absolute
+    MB/s alone would flag hardware differences as regressions.  The frozen
+    ``_reference_*`` implementations never change, so their wall times are
+    a pure machine-speed probe: the median ratio of current-to-baseline
+    reference times rescales every absolute floor to the current machine.
+    A kernel then passes if its rescaled throughput is within the band, or
+    — for kernels with a reference — if its speedup over that reference
+    (same machine, same run) is within the band of the baseline's speedup.
+
+    Returns human-readable failure lines (empty = pass).  Kernels present
+    on only one side are ignored — the gate compares, it doesn't enforce
+    coverage.
+    """
+    if max_regression <= 1.0:
+        raise ValueError(f"max_regression must be > 1, got {max_regression}")
+    base_by_key = {(r.codec, r.op, r.shape_name): r for r in baseline}
+    pairs = [
+        (record, base)
+        for record in current
+        if (base := base_by_key.get((record.codec, record.op, record.shape_name)))
+        is not None
+    ]
+    speed_ratios = [
+        record.reference_seconds / base.reference_seconds
+        for record, base in pairs
+        if record.reference_seconds is not None and base.reference_seconds is not None
+    ]
+    machine_factor = float(np.median(speed_ratios)) if speed_ratios else 1.0
+    failures = []
+    for record, base in pairs:
+        floor = base.throughput_mb_s / max_regression / max(machine_factor, 1.0)
+        if record.throughput_mb_s >= floor:
+            continue
+        if (
+            record.speedup is not None
+            and base.speedup is not None
+            and record.speedup >= base.speedup / max_regression
+        ):
+            continue  # reference regressed identically: machine, not code
+        failures.append(
+            f"{record.codec}.{record.op} [{record.shape_name}]: "
+            f"{record.throughput_mb_s:.1f} MB/s < floor {floor:.1f} MB/s "
+            f"(baseline {base.throughput_mb_s:.1f} MB/s / {max_regression:g}x, "
+            f"machine factor {machine_factor:.2f})"
+        )
+    return failures
+
+
+def format_table(records: Sequence[PerfRecord]) -> str:
+    """Human-readable throughput/speedup table."""
+    header = f"{'codec':<12} {'op':<8} {'shape':<10} {'MB/s':>10} {'ref MB/s':>10} {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for r in records:
+        ref = "" if r.reference_seconds is None else f"{r.input_nbytes / r.reference_seconds / 1e6:10.1f}"
+        spd = "" if r.speedup is None else f"{r.speedup:7.1f}x"
+        lines.append(
+            f"{r.codec:<12} {r.op:<8} {r.shape_name:<10} {r.throughput_mb_s:>10.1f} {ref:>10} {spd:>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None, help="write BENCH JSON here")
+    parser.add_argument(
+        "--check", type=Path, default=None, help="compare against a committed BENCH JSON"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small single-shape run (CI perf-smoke)"
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--regression-factor", type=float, default=3.0,
+        help="fail --check when throughput drops more than this factor",
+    )
+    args = parser.parse_args(argv)
+    shapes = SMOKE_SHAPES if args.smoke else PAPER_SHAPES
+    records = run_suite(shapes, repeats=args.repeats)
+    print(format_table(records))
+    if args.out is not None:
+        write_bench(records, args.out)
+        print(f"[written to {args.out}]")
+    if args.check is not None:
+        failures = compare_to_baseline(
+            records, load_bench(args.check), max_regression=args.regression_factor
+        )
+        if failures:
+            print(f"PERF REGRESSION vs {args.check}:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"perf-smoke OK vs {args.check} (within {args.regression_factor:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ import numpy as np
 from repro.adaptive.controller import AdaptiveController
 from repro.adaptive.selection import PAPER_A100_PROFILE, DeviceThroughputProfile
 from repro.compression.buffer import BufferCostModel
+from repro.compression.cache import TableCodebookCache
 from repro.compression.entropy import EntropyCompressor
 from repro.compression.registry import decompress_any
 from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
@@ -66,6 +67,9 @@ class CompressionPipeline:
     compress_backward:
         Also compress the gradient all-to-all.  Off by default: the paper
         compresses the forward exchange (Fig. 12).
+    codebook_refresh:
+        Staleness window (in uses per table) for the shared Huffman
+        codebook cache on the compress hot loop; ``0`` disables caching.
     """
 
     controller: AdaptiveController
@@ -76,12 +80,19 @@ class CompressionPipeline:
     compress_backward: bool = False
     #: metadata bytes exchanged per (pair, table): compressed size + codec id
     metadata_bytes_per_entry: int = 16
+    codebook_refresh: int = 8
 
     def __post_init__(self) -> None:
+        self.codebook_cache = (
+            TableCodebookCache(refresh_every=self.codebook_refresh)
+            if self.codebook_refresh > 0
+            else None
+        )
         self._codecs = {
             "vector_lz": VectorLZCompressor(window=self.window),
-            "entropy": EntropyCompressor(),
+            "entropy": EntropyCompressor(codebook_cache=self.codebook_cache),
         }
+        self._buffer_models: dict[tuple[str, str], BufferCostModel] = {}
         self.stats: list[TransferStats] = []
 
     # ------------------------------------------------------------ stage ①/④
@@ -90,7 +101,7 @@ class CompressionPipeline:
         """Compress one table's rows bound for one destination rank."""
         codec_name = self.controller.compressor_name(table_id)
         error_bound = self.controller.error_bound(table_id, iteration)
-        payload = self._codecs[codec_name].compress(rows, error_bound)
+        payload = self._codecs[codec_name].compress_keyed(table_id, rows, error_bound)
         self.stats.append(
             TransferStats(
                 iteration=iteration,
@@ -121,6 +132,20 @@ class CompressionPipeline:
         t = self.profile.for_codec(codec)
         return t.compress, t.decompress
 
+    def _buffer_model(self, codec: str, stage: str) -> BufferCostModel:
+        """Memoized per-(codec, stage) cost model — these are rebuilt for
+        every simulated exchange otherwise (the timing hot loop)."""
+        key = (codec, stage)
+        model = self._buffer_models.get(key)
+        if model is None:
+            tc, td = self._codec_throughputs(codec)
+            if stage == "compress":
+                model = BufferCostModel(gpu=self.gpu, compress_throughput=tc)
+            else:
+                model = BufferCostModel(gpu=self.gpu, decompress_throughput=td)
+            self._buffer_models[key] = model
+        return model
+
     def compression_seconds(self, chunks: list[tuple[str, int]]) -> float:
         """Modelled stage-① time for ``(codec, input_nbytes)`` chunks.
 
@@ -132,8 +157,7 @@ class CompressionPipeline:
             by_codec[codec].append(float(nbytes))
         total = 0.0
         for codec, sizes in by_codec.items():
-            tc, _ = self._codec_throughputs(codec)
-            model = BufferCostModel(gpu=self.gpu, compress_throughput=tc)
+            model = self._buffer_model(codec, "compress")
             if self.fused_kernels:
                 total += model.fused_compression_seconds(sizes)
             else:
@@ -147,8 +171,7 @@ class CompressionPipeline:
             by_codec[codec].append(float(nbytes))
         total = 0.0
         for codec, sizes in by_codec.items():
-            _, td = self._codec_throughputs(codec)
-            model = BufferCostModel(gpu=self.gpu, decompress_throughput=td)
+            model = self._buffer_model(codec, "decompress")
             if self.fused_kernels:
                 total += model.parallel_decompression_seconds(sizes)
             else:
@@ -183,8 +206,7 @@ class CompressionPipeline:
             raise ValueError("wire times must be >= 0")
         compress_times = []
         for codec, nbytes in chunks:
-            tc, _ = self._codec_throughputs(codec)
-            model = BufferCostModel(gpu=self.gpu, compress_throughput=tc)
+            model = self._buffer_model(codec, "compress")
             compress_times.append(model.chunked_compression_seconds([float(nbytes)]))
         prefix_c = 0.0
         best = 0.0

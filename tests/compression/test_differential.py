@@ -1,0 +1,225 @@
+"""Differential tests: vectorized hot paths vs the frozen seed oracles.
+
+The vectorization PR rewrote every per-element decode/search loop with
+batched NumPy passes while keeping the original implementations as
+``_reference_*`` functions.  These property tests pin the new code to the
+old semantics: byte-identical encoded payloads, element-identical decodes,
+and identical error behaviour, over randomized shapes, alphabets, windows,
+and error bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.baselines.fzgpu_like import (
+    _reference_pack_bitplanes,
+    _reference_unpack_bitplanes,
+    pack_bitplanes,
+    unpack_bitplanes,
+)
+from repro.compression.baselines.lz_generic import (
+    _reference_lz77_decode_bytes,
+    _reference_lz77_encode_bytes,
+    lz77_decode_bytes,
+    lz77_encode_bytes,
+)
+from repro.compression.bitstream import (
+    _reference_unpack_fixed,
+    pack_fixed,
+    unpack_fixed,
+)
+from repro.compression.huffman import (
+    _reference_huffman_decode,
+    _reference_sliding_windows,
+    _sliding_windows,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.compression.vector_lz import (
+    _reference_vector_lz_decode,
+    vector_lz_decode,
+    vector_lz_encode,
+)
+from repro.compression.entropy import EntropyCompressor
+from repro.compression.vector_lz import VectorLZCompressor
+
+
+class TestBitstreamDifferential:
+    @given(
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=1, max_value=57),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unpack_fixed_matches_reference(self, count, width, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << width, size=count, dtype=np.uint64)
+        packed, _ = pack_fixed(values, width)
+        new = unpack_fixed(packed, count, width)
+        ref = _reference_unpack_fixed(packed, count, width)
+        np.testing.assert_array_equal(new, ref)
+        np.testing.assert_array_equal(new, values)
+
+    @given(
+        st.integers(min_value=1, max_value=600),
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sliding_windows_match_reference(self, nbytes, width, seed):
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+        padded = np.concatenate([payload, np.zeros(8, dtype=np.uint8)])
+        count = nbytes * 8 - rng.integers(0, min(7, nbytes * 8 - 1))
+        start = int(rng.integers(0, nbytes * 8 - count + 1))
+        new = _sliding_windows(padded, start, int(count), width)
+        ref = _reference_sliding_windows(padded, start, int(count), width)
+        np.testing.assert_array_equal(new.astype(np.uint64), ref)
+
+
+class TestVectorLZDifferential:
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decode_matches_reference(self, n, d, pool, window, seed):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, 2000, size=(pool, d))
+        codes = rows[rng.integers(0, pool, size=n)]
+        encoded = vector_lz_encode(codes, window=window)
+        new = vector_lz_decode(encoded)
+        ref = _reference_vector_lz_decode(encoded)
+        np.testing.assert_array_equal(new, ref)
+        np.testing.assert_array_equal(new, codes)
+
+    def test_long_chain_all_identical_rows(self):
+        """Chains as long as the batch (every row references the previous)."""
+        codes = np.full((4096, 8), 7, dtype=np.int64)
+        encoded = vector_lz_encode(codes, window=1)
+        np.testing.assert_array_equal(vector_lz_decode(encoded), codes)
+        np.testing.assert_array_equal(_reference_vector_lz_decode(encoded), codes)
+
+    @given(st.floats(min_value=1e-4, max_value=1.0), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_codec_payload_roundtrip_any_bound(self, error_bound, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 0.2, size=(50, 8)).astype(np.float32)
+        codec = VectorLZCompressor()
+        payload = codec.compress(data, error_bound)
+        rec = codec.decompress(payload)
+        assert np.abs(data - rec).max() <= error_bound * (1 + 1e-5)
+
+
+class TestHuffmanDifferential:
+    @given(
+        st.integers(min_value=0, max_value=4000),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=8, max_value=1024),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decode_matches_reference(self, count, alphabet, chunk, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.zipf(1.4, size=count) - 1 if count else np.zeros(0, dtype=np.int64)
+        symbols = np.minimum(raw, alphabet - 1).astype(np.int64)
+        encoded = huffman_encode(symbols, alphabet, chunk_symbols=chunk)
+        new = huffman_decode(encoded)
+        ref = _reference_huffman_decode(encoded)
+        np.testing.assert_array_equal(new, ref)
+        np.testing.assert_array_equal(new, symbols)
+
+    def test_corrupt_stream_raises_like_reference(self):
+        """A Kraft-gap peek must raise, not decode garbage."""
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(0, 16, size=500)
+        encoded = huffman_encode(symbols, 16)
+        # Lengthen one code so the canonical table leaves a gap (Kraft < 1),
+        # making some windows land on unassigned entries.
+        lengths = encoded.code_lengths.copy()
+        used = np.flatnonzero(lengths)
+        lengths[used[0]] += 3
+        from dataclasses import replace
+
+        broken = replace(encoded, code_lengths=lengths)
+        with pytest.raises(ValueError, match="corrupt"):
+            huffman_decode(broken)
+        with pytest.raises(ValueError, match="corrupt"):
+            _reference_huffman_decode(broken)
+
+    @given(st.floats(min_value=1e-4, max_value=1.0), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_codec_payload_roundtrip_any_bound(self, error_bound, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 0.2, size=(50, 8)).astype(np.float32)
+        codec = EntropyCompressor()
+        payload = codec.compress(data, error_bound)
+        rec = codec.decompress(payload)
+        assert np.abs(data - rec).max() <= error_bound * (1 + 1e-5)
+
+
+class TestLz77Differential:
+    @staticmethod
+    def _make_data(rng, kind: str, size: int) -> bytes:
+        if kind == "random":
+            return rng.integers(0, 256, size).astype(np.uint8).tobytes()
+        if kind == "low_entropy":
+            return rng.integers(0, 4, size).astype(np.uint8).tobytes()
+        if kind == "hot_rows":
+            pool = rng.integers(0, 256, (8, 64)).astype(np.uint8)
+            return pool[rng.integers(0, 8, max(size // 64, 1))].tobytes()
+        return bytes(size)  # zeros
+
+    @given(
+        st.sampled_from(["random", "low_entropy", "hot_rows", "zeros"]),
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=70000),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encode_byte_identical_and_decode_exact(self, kind, size, window, seed):
+        rng = np.random.default_rng(seed)
+        data = self._make_data(rng, kind, size)
+        new_stream = lz77_encode_bytes(data, window)
+        ref_stream = _reference_lz77_encode_bytes(data, window)
+        assert new_stream == ref_stream
+        assert lz77_decode_bytes(new_stream, len(data)) == data
+        assert _reference_lz77_decode_bytes(new_stream, len(data)) == data
+
+    def test_overlapping_match_copies(self):
+        """Period-replication copy must equal the byte-at-a-time loop."""
+        data = b"ab" * 4000 + b"xyz" + b"a" * 1000
+        stream = lz77_encode_bytes(data, 4096)
+        assert lz77_decode_bytes(stream, len(data)) == data
+        assert _reference_lz77_decode_bytes(stream, len(data)) == data
+
+
+class TestFzgpuDifferential:
+    @given(
+        st.integers(min_value=0, max_value=8000),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bitplanes_byte_identical(self, n, bits, block_bytes, seed):
+        rng = np.random.default_rng(seed)
+        unsigned = rng.integers(0, 1 << bits, size=n).astype(np.uint64)
+        new_bitmap, new_payload, new_blocks = pack_bitplanes(unsigned, block_bytes)
+        ref_bitmap, ref_payload, ref_blocks = _reference_pack_bitplanes(unsigned, block_bytes)
+        assert new_blocks == ref_blocks
+        assert new_bitmap.tobytes() == ref_bitmap.tobytes()
+        assert new_payload.tobytes() == ref_payload.tobytes()
+        decoded = unpack_bitplanes(new_bitmap, new_payload, n, block_bytes, new_blocks)
+        ref_decoded = _reference_unpack_bitplanes(
+            new_bitmap, new_payload, n, block_bytes, new_blocks
+        )
+        np.testing.assert_array_equal(decoded, unsigned)
+        np.testing.assert_array_equal(ref_decoded, unsigned)

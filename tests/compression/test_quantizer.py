@@ -100,3 +100,57 @@ class TestQuantizedBatch:
         data = np.random.default_rng(0).normal(size=(4, 4))
         batch = quantize_batch(data, 0.01)
         assert batch.reconstruct().dtype == np.float64
+
+
+class TestAlphabetCap:
+    def test_tiny_bound_raises_with_alphabet_size_in_message(self):
+        from repro.compression.quantizer import DEFAULT_MAX_ALPHABET
+
+        data = np.array([[0.0, 1.0]], dtype=np.float32)
+        with pytest.raises(ValueError, match="alphabet"):
+            quantize_batch(data, 1e-9)
+        try:
+            quantize_batch(data, 1e-9)
+        except ValueError as err:
+            message = str(err)
+            assert str(DEFAULT_MAX_ALPHABET) in message
+            # the offending alphabet size: range 1.0 / bin 2e-9 -> 5e8 symbols
+            assert "500000001" in message
+
+    def test_cap_is_overridable(self):
+        data = np.array([[0.0, 1.0]], dtype=np.float32)
+        batch = quantize_batch(data, 1e-7, max_alphabet=10_000_001)
+        assert batch.alphabet_size == 5_000_001
+
+    def test_boundary_exactly_at_cap_passes(self):
+        data = np.array([[0.0, 1.0]], dtype=np.float32)
+        batch = quantize_batch(data, 0.5, max_alphabet=2)
+        assert batch.alphabet_size <= 2
+
+    def test_default_cap_leaves_normal_bounds_alone(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 0.1, size=(64, 16)).astype(np.float32)
+        batch = quantize_batch(data, 1e-6)  # tight but sane
+        assert batch.alphabet_size < 2_000_000
+
+    def test_vector_lz_still_accepts_tight_bounds(self):
+        """The cap guards the entropy leg; vector-LZ packs literals at a
+        fixed width and must keep its pre-cap tolerance of huge alphabets."""
+        from repro.compression import VectorLZCompressor
+
+        rng = np.random.default_rng(1)
+        data = rng.uniform(0.0, 1.0, size=(8, 4)).astype(np.float32)
+        codec = VectorLZCompressor()
+        payload = codec.compress(data, 1e-8)  # ~5e7 bins
+        rec = codec.decompress(payload)
+        # Bound holds to within one float32 ULP (the documented contract).
+        assert np.abs(data - rec).max() <= 1e-8 + np.finfo(np.float32).eps
+
+    def test_huffman_fails_fast_on_oversized_used_alphabet(self):
+        """More distinct symbols than 15-bit codes allow must raise before
+        the tree build, with an actionable message."""
+        from repro.compression.huffman import huffman_encode
+
+        symbols = np.arange(40_000, dtype=np.int64)
+        with pytest.raises(ValueError, match="loosen the error bound"):
+            huffman_encode(symbols, 40_000)

@@ -82,3 +82,66 @@ class TestTimeline:
             tl.record(0, EventCategory.COMPRESS, -1.0, 1.0)
         with pytest.raises(ValueError):
             tl.record(0, EventCategory.COMPRESS, 0.0, -1.0)
+
+
+class TestChromeTrace:
+    def _ledger(self) -> Timeline:
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 0.5)
+        tl.record(0, EventCategory.ALLTOALL_FWD, 0.5, 1.25)
+        tl.record(2, EventCategory.DECOMPRESS, 1.75, 0.25)
+        return tl
+
+    def test_top_level_schema(self):
+        trace = self._ledger().to_chrome_trace()
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_duration_events_schema(self):
+        trace = self._ledger().to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        for e in xs:
+            assert set(e) == {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert isinstance(e["name"], str)
+            assert e["pid"] == 0
+            assert isinstance(e["tid"], int)
+            assert isinstance(e["ts"], float) and e["ts"] >= 0.0
+            assert isinstance(e["dur"], float) and e["dur"] >= 0.0
+
+    def test_microsecond_conversion_and_lane_mapping(self):
+        trace = self._ledger().to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        alltoall = next(e for e in xs if e["name"] == "alltoall_fwd")
+        assert alltoall["ts"] == pytest.approx(0.5e6)
+        assert alltoall["dur"] == pytest.approx(1.25e6)
+        assert alltoall["tid"] == 0
+        decompress = next(e for e in xs if e["name"] == "decompress")
+        assert decompress["tid"] == 2
+
+    def test_metadata_events_name_process_and_ranks(self):
+        trace = self._ledger().to_chrome_trace(process_name="my-sim")
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e for e in metas}
+        assert names["process_name"]["args"]["name"] == "my-sim"
+        thread_metas = [e for e in metas if e["name"] == "thread_name"]
+        assert {e["tid"] for e in thread_metas} == {0, 2}
+
+    def test_event_names_are_plain_strings(self):
+        """Chrome chokes on non-string names; enum members must be rendered."""
+        trace = self._ledger().to_chrome_trace()
+        for e in trace["traceEvents"]:
+            assert type(e["name"]) is str
+
+    def test_json_serializable_roundtrip(self, tmp_path):
+        import json
+
+        tl = self._ledger()
+        path = tl.dump_chrome_trace(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == tl.to_chrome_trace()
+
+    def test_empty_timeline_exports_cleanly(self):
+        trace = Timeline().to_chrome_trace()
+        assert [e["ph"] for e in trace["traceEvents"]] == ["M"]

@@ -1,0 +1,159 @@
+"""Tests for the codec throughput benchmark harness."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.profiling.perfbench import (
+    PAPER_SHAPES,
+    PerfRecord,
+    compare_to_baseline,
+    format_table,
+    load_bench,
+    make_lookup_batch,
+    run_suite,
+    write_bench,
+)
+
+TINY = {"tiny": (32, 8)}
+
+
+@pytest.fixture(scope="module")
+def tiny_records():
+    return run_suite(TINY, repeats=1)
+
+
+class TestLookupBatch:
+    def test_shape_dtype_and_determinism(self):
+        a = make_lookup_batch(64, 16, seed=1)
+        b = make_lookup_batch(64, 16, seed=1)
+        assert a.shape == (64, 16) and a.dtype == np.float32
+        np.testing.assert_array_equal(a, b)
+
+    def test_hot_rows_recur(self):
+        batch = make_lookup_batch(256, 8, pool=4, cold_fraction=0.0)
+        from repro.compression.quantizer import quantize_batch
+        from repro.compression.vector_lz import find_vector_matches
+
+        codes = quantize_batch(batch, 1e-2).codes
+        is_match, _ = find_vector_matches(codes, 255)
+        assert is_match.sum() > 200
+
+    def test_cold_fraction_adds_literals(self):
+        hot = make_lookup_batch(256, 8, pool=4, cold_fraction=0.0, seed=3)
+        mixed = make_lookup_batch(256, 8, pool=4, cold_fraction=0.5, seed=3)
+        from repro.compression.quantizer import quantize_batch
+        from repro.compression.vector_lz import find_vector_matches
+
+        hot_matches = find_vector_matches(quantize_batch(hot, 1e-2).codes, 255)[0].sum()
+        mixed_matches = find_vector_matches(quantize_batch(mixed, 1e-2).codes, 255)[0].sum()
+        assert mixed_matches < hot_matches
+
+
+class TestRunSuite:
+    def test_records_have_positive_timings(self, tiny_records):
+        assert tiny_records
+        for record in tiny_records:
+            assert record.seconds > 0
+            assert record.throughput_mb_s > 0
+            assert record.shape_name == "tiny"
+            assert record.input_nbytes == 32 * 8 * 4
+
+    def test_reference_ops_carry_speedup(self, tiny_records):
+        with_ref = [r for r in tiny_records if r.reference_seconds is not None]
+        assert {(r.codec, r.op) for r in with_ref} >= {
+            ("vector_lz", "decode"),
+            ("huffman", "decode"),
+            ("lz4_like", "encode"),
+        }
+        for record in with_ref:
+            assert record.speedup == pytest.approx(
+                record.reference_seconds / record.seconds
+            )
+
+    def test_reference_can_be_skipped(self):
+        records = run_suite(TINY, repeats=1, include_reference=False)
+        assert all(r.reference_seconds is None and r.speedup is None for r in records)
+
+    def test_paper_shapes_are_the_default_geometry(self):
+        assert PAPER_SHAPES["kaggle"] == (128, 32)
+        assert PAPER_SHAPES["terabyte"] == (2048, 32)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, tiny_records, tmp_path):
+        path = write_bench(tiny_records, tmp_path / "bench.json")
+        loaded = load_bench(path)
+        assert loaded == tiny_records
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert "numpy" in payload and "python" in payload
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+
+def _record(codec="huffman", op="decode", shape="terabyte", mbps=100.0, speedup=None):
+    seconds = 2048 * 32 * 4 / (mbps * 1e6)
+    return PerfRecord(
+        codec=codec,
+        op=op,
+        shape_name=shape,
+        rows=2048,
+        dim=32,
+        input_nbytes=2048 * 32 * 4,
+        seconds=seconds,
+        throughput_mb_s=mbps,
+        reference_seconds=None if speedup is None else seconds * speedup,
+        speedup=speedup,
+    )
+
+
+class TestCompareToBaseline:
+    def test_passes_within_band(self):
+        assert compare_to_baseline([_record(mbps=40)], [_record(mbps=100)]) == []
+
+    def test_fails_beyond_regression_factor(self):
+        failures = compare_to_baseline([_record(mbps=30)], [_record(mbps=100)])
+        assert len(failures) == 1
+        assert "huffman.decode" in failures[0]
+
+    def test_faster_is_always_fine(self):
+        assert compare_to_baseline([_record(mbps=900)], [_record(mbps=100)]) == []
+
+    def test_unmatched_kernels_ignored(self):
+        current = [_record(codec="newcodec", mbps=1.0)]
+        assert compare_to_baseline(current, [_record(mbps=100)]) == []
+
+    def test_custom_factor(self):
+        current, base = [_record(mbps=30)], [_record(mbps=100)]
+        assert compare_to_baseline(current, base, max_regression=5.0) == []
+        with pytest.raises(ValueError):
+            compare_to_baseline(current, base, max_regression=1.0)
+
+    def test_slow_machine_passes_via_relative_speedup(self):
+        """A uniformly slower machine (low MB/s but intact speedup vs the
+        in-run reference) must not trip the cross-machine gate."""
+        current = [_record(mbps=10, speedup=4.0)]
+        base = [_record(mbps=100, speedup=4.2)]
+        assert compare_to_baseline(current, base) == []
+
+    def test_true_regression_fails_both_criteria(self):
+        current = [_record(mbps=10, speedup=1.0)]
+        base = [_record(mbps=100, speedup=4.2)]
+        failures = compare_to_baseline(current, base)
+        assert len(failures) == 1 and "huffman.decode" in failures[0]
+
+
+class TestFormatTable:
+    def test_contains_every_kernel_row(self, tiny_records):
+        table = format_table(tiny_records)
+        for record in tiny_records:
+            assert record.codec in table and record.op in table
+        assert "MB/s" in table and "speedup" in table
