@@ -139,6 +139,22 @@ class ClusterRuns:
         )
         self.compressed = trainer1.train(self.ITERATIONS, self.GLOBAL_BATCH)
 
+        # Same compressed pipeline with the communicator's stream overlap
+        # (stage ① hiding behind stage ③) — the Fig.-12 overlap rows.
+        sim2 = ClusterSimulator(self.N_RANKS)
+        controller2 = AdaptiveController(
+            self.plan, StepwiseDecay(2.0, phase_iterations=self.ITERATIONS // 2)
+        )
+        trainer2 = HybridParallelTrainer(
+            DLRM(self.config),
+            self.dataset,
+            sim2,
+            pipeline=CompressionPipeline(controller2),
+            lr=0.2,
+            overlap=True,
+        )
+        self.overlapped = trainer2.train(self.ITERATIONS, self.GLOBAL_BATCH)
+
 
 @pytest.fixture(scope="session")
 def cluster_runs() -> ClusterRuns:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pack_codes", "unpack_fixed", "bits_to_bytes", "pack_fixed"]
+__all__ = ["pack_codes", "unpack_fixed", "bits_to_bytes", "pack_fixed", "word_table"]
 
 
 def _reference_unpack_fixed(
@@ -68,8 +68,49 @@ def word_table(data: np.ndarray, width: int) -> tuple[np.ndarray, type, int]:
     return words, dtype, n_bytes
 
 
+def _reference_pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
+    """The seed's original per-bit-plane packer (one ``bitwise_or.at`` pass
+    per code bit), frozen verbatim as the differential/benchmark oracle."""
+    codes = np.asarray(codes, dtype=np.uint64).ravel()
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    if codes.shape != lengths.shape:
+        raise ValueError(f"codes/lengths shape mismatch: {codes.shape} vs {lengths.shape}")
+    if codes.size == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+    if lengths.min() < 1 or lengths.max() > 57:
+        raise ValueError(f"code lengths must be in [1, 57], got range [{lengths.min()}, {lengths.max()}]")
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    total_bits = int(ends[-1])
+    packed = np.zeros(bits_to_bytes(total_bits), dtype=np.uint8)
+    max_len = int(lengths.max())
+    for b in range(max_len):
+        live = lengths > b
+        if not live.any():
+            break
+        pos = starts[live] + b
+        shift = (lengths[live] - 1 - b).astype(np.uint64)
+        bit = (codes[live] >> shift) & np.uint64(1)
+        on = bit.astype(bool)
+        if on.any():
+            byte_idx = (pos[on] >> 3).astype(np.int64)
+            bit_in_byte = (7 - (pos[on] & 7)).astype(np.uint8)
+            np.bitwise_or.at(packed, byte_idx, np.left_shift(np.uint8(1), bit_in_byte))
+    return packed, total_bits
+
+
 def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
     """Concatenate variable-length codes into a packed byte array.
+
+    Word-level packing: each code is left-justified into the 64-bit
+    big-endian window that starts at its first byte (a <=57-bit code at
+    any in-byte offset spans at most 8 bytes), the window is split into
+    its 8 byte planes, and all nonzero byte contributions land in one
+    ``bincount`` accumulation.  Because consecutive codes occupy disjoint
+    bit ranges, byte contributions to a shared boundary byte have disjoint
+    set bits — so their *sum* equals their bitwise OR, and ``bincount``
+    (a buffered, C-speed scatter-add) replaces the unbuffered
+    ``bitwise_or.at`` of the per-bit-plane reference.
 
     Parameters
     ----------
@@ -96,20 +137,36 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]
     ends = np.cumsum(lengths)
     starts = ends - lengths
     total_bits = int(ends[-1])
-    packed = np.zeros(bits_to_bytes(total_bits), dtype=np.uint8)
-    max_len = int(lengths.max())
-    for b in range(max_len):
-        live = lengths > b
-        if not live.any():
-            break
-        pos = starts[live] + b
-        shift = (lengths[live] - 1 - b).astype(np.uint64)
-        bit = (codes[live] >> shift) & np.uint64(1)
-        on = bit.astype(bool)
+    nbytes = bits_to_bytes(total_bits)
+    first_byte = starts >> 3
+    # Only bits [length-1, 0] of each value are emitted: mask stray higher
+    # bits (the per-bit-plane reference never read them) so they cannot
+    # shift into a neighbouring code's bit range and break the
+    # disjoint-bits assumption behind the bincount accumulation.
+    codes = codes & ((np.uint64(1) << lengths.astype(np.uint64)) - np.uint64(1))
+    # Left-justify each code inside its 8-byte window: the code's MSB
+    # lands at in-window bit (starts & 7).
+    shift = (np.uint64(64) - lengths.astype(np.uint64) - (starts & 7).astype(np.uint64))
+    windows = codes << shift
+    index_parts: list[np.ndarray] = []
+    value_parts: list[np.ndarray] = []
+    # A length-L code starting at any in-byte offset spans at most
+    # ceil((7 + L) / 8) bytes — byte planes beyond that are all zero.
+    n_planes = (7 + int(lengths.max()) + 7) // 8
+    for k in range(n_planes):
+        plane = (windows >> np.uint64(8 * (7 - k))) & np.uint64(0xFF)
+        on = plane != 0
         if on.any():
-            byte_idx = (pos[on] >> 3).astype(np.int64)
-            bit_in_byte = (7 - (pos[on] & 7)).astype(np.uint8)
-            np.bitwise_or.at(packed, byte_idx, np.left_shift(np.uint8(1), bit_in_byte))
+            index_parts.append(first_byte[on] + k)
+            value_parts.append(plane[on])
+    packed = np.zeros(nbytes, dtype=np.uint8)
+    if index_parts:
+        accumulated = np.bincount(
+            np.concatenate(index_parts),
+            weights=np.concatenate(value_parts).astype(np.float64),
+            minlength=nbytes,
+        )
+        packed += accumulated.astype(np.uint8)
     return packed, total_bits
 
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.bitstream import pack_codes, word_table
+from repro.compression.bitstream import _reference_pack_codes, pack_codes, word_table
 from repro.compression.cache import LruCache
 
 __all__ = [
@@ -53,12 +53,9 @@ DEFAULT_CHUNK_SYMBOLS = 4096
 _PEEK_TABLE_CACHE = LruCache(32)
 
 
-def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
-    """Optimal (unlimited) Huffman code lengths for positive frequencies.
-
-    Ties are broken deterministically by symbol index so codebooks are
-    reproducible across runs.
-    """
+def _reference_huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """The seed's original heap-based tree build, frozen verbatim as the
+    differential/benchmark oracle."""
     freqs = np.asarray(freqs, dtype=np.int64)
     n = freqs.size
     if n == 0:
@@ -79,6 +76,60 @@ def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
         parent[a] = next_id
         parent[b] = next_id
         heapq.heappush(heap, (w1 + w2, next_id))
+        next_id += 1
+    root = next_id - 1
+    depth = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(root - 1, -1, -1):  # parents always have larger ids
+        depth[node] = depth[parent[node]] + 1
+    return depth[:n]
+
+
+def huffman_code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Optimal (unlimited) Huffman code lengths for positive frequencies.
+
+    Two-queue O(n log n) construction (the log factor is one ``argsort``):
+    leaves wait in weight order in one queue, merged internal nodes are
+    produced in nondecreasing weight order and consumed FIFO from the
+    other, so every merge step picks its two cheapest nodes with plain
+    comparisons — no heap.  Tie-breaking matches the seed's heap build
+    exactly (leaves before internals at equal weight, then smaller symbol
+    index / earlier creation first), so the resulting length table is
+    identical, not merely equivalent — the differential tests pin this.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    n = freqs.size
+    if n == 0:
+        raise ValueError("cannot build a Huffman code over an empty alphabet")
+    if (freqs <= 0).any():
+        raise ValueError("all frequencies must be positive (drop unused symbols first)")
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    order = np.argsort(freqs, kind="stable")
+    leaf_weights = freqs[order].tolist()
+    leaf_ids = order.tolist()
+    merged_weights: list[int] = []  # FIFO, weights nondecreasing
+    merged_ids: list[int] = []
+    parent = np.zeros(2 * n - 1, dtype=np.int64)
+    li = mi = 0  # queue cursors
+    next_id = n
+
+    def pop_min() -> tuple[int, int]:
+        nonlocal li, mi
+        # Equal weights prefer the leaf: leaf ids < n <= internal ids, and
+        # the heap oracle orders by (weight, id).
+        if li < n and (mi >= len(merged_weights) or leaf_weights[li] <= merged_weights[mi]):
+            li += 1
+            return leaf_weights[li - 1], leaf_ids[li - 1]
+        mi += 1
+        return merged_weights[mi - 1], merged_ids[mi - 1]
+
+    for _ in range(n - 1):
+        w1, a = pop_min()
+        w2, b = pop_min()
+        parent[a] = next_id
+        parent[b] = next_id
+        merged_weights.append(w1 + w2)
+        merged_ids.append(next_id)
         next_id += 1
     root = next_id - 1
     depth = np.zeros(2 * n - 1, dtype=np.int64)
@@ -354,6 +405,49 @@ def huffman_encode_with_book(
         if (lengths[symbols] == 0).any():
             raise ValueError("codebook does not cover every symbol in the stream")
     return _encode_with_tables(symbols, lengths, codes, chunk_symbols)
+
+
+def _reference_huffman_encode(
+    symbols: np.ndarray,
+    alphabet_size: int,
+    *,
+    max_code_length: int = DEFAULT_MAX_CODE_LENGTH,
+    chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+) -> HuffmanEncoded:
+    """The seed's encode path — heap tree build + per-bit-plane packing —
+    composed from the frozen ``_reference_*`` kernels (benchmark oracle)."""
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    if symbols.size == 0:
+        return huffman_encode(symbols, alphabet_size, max_code_length=max_code_length)
+    freqs = np.bincount(symbols, minlength=alphabet_size)
+    used = np.flatnonzero(freqs)
+    if used.size == 1:
+        return huffman_encode(
+            symbols, alphabet_size, max_code_length=max_code_length, chunk_symbols=chunk_symbols
+        )
+    dense_lengths = limit_code_lengths(
+        _reference_huffman_code_lengths(freqs[used]), freqs[used], max_code_length
+    )
+    lengths = np.zeros(alphabet_size, dtype=np.int64)
+    codes = np.zeros(alphabet_size, dtype=np.uint64)
+    lengths[used] = dense_lengths
+    codes[used] = canonical_codes(dense_lengths)
+    sym_codes = codes[symbols]
+    sym_lengths = lengths[symbols]
+    chunk_counts = _chunk_layout(symbols.size, chunk_symbols)
+    bit_ends = np.cumsum(sym_lengths)
+    chunk_starts_sym = np.arange(chunk_counts.size, dtype=np.int64) * chunk_symbols
+    chunk_bit_offsets = np.where(
+        chunk_starts_sym == 0, 0, bit_ends[chunk_starts_sym - 1]
+    ).astype(np.uint64)
+    packed, _total_bits = _reference_pack_codes(sym_codes, sym_lengths)
+    return HuffmanEncoded(
+        payload=packed,
+        code_lengths=lengths,
+        chunk_bit_offsets=chunk_bit_offsets,
+        chunk_symbol_counts=chunk_counts,
+        total_symbols=symbols.size,
+    )
 
 
 def _sliding_windows(padded: np.ndarray, start_bit: int, count: int, width: int) -> np.ndarray:

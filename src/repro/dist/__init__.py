@@ -1,11 +1,11 @@
 """Cluster-simulation substrate: GPU/network cost models, exact
-collectives, per-rank clocks, and the event timeline.
+collectives, per-rank stream clocks, and the event timeline.
 
 The design follows the system-simulation approach of THC and "Compressed
 Communication for Distributed Training": collectives are priced
-*analytically* (alpha-beta models, utilization-scaled kernels) while the
-data path is computed *exactly* in process — so accuracy results are real
-and timing results are modelled, independently.
+*analytically* (alpha-beta models, per-link topologies, utilization-scaled
+kernels) while the data path is computed *exactly* in process — so
+accuracy results are real and timing results are modelled, independently.
 
 Layering (no cycles): ``timeline`` and ``gpu`` and ``network`` are leaves;
 ``comm`` uses the timeline's categories; ``simulator`` composes all four.
@@ -13,19 +13,38 @@ Layering (no cycles): ``timeline`` and ``gpu`` and ``network`` are leaves;
 
 from repro.dist.comm import Communicator, payload_nbytes
 from repro.dist.gpu import A100_LIKE, GpuModel
-from repro.dist.network import PAPER_FABRIC, NetworkModel
+from repro.dist.network import (
+    IB_HDR_LIKE,
+    NVLINK_LIKE,
+    PAPER_FABRIC,
+    LinkSpec,
+    NetworkModel,
+    Topology,
+)
 from repro.dist.simulator import ClusterSimulator
-from repro.dist.timeline import EventCategory, Timeline, TimelineEvent
+from repro.dist.timeline import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    EventCategory,
+    Timeline,
+    TimelineEvent,
+)
 
 __all__ = [
     "A100_LIKE",
+    "COMM_STREAM",
+    "COMPUTE_STREAM",
+    "IB_HDR_LIKE",
+    "NVLINK_LIKE",
     "PAPER_FABRIC",
     "ClusterSimulator",
     "Communicator",
     "EventCategory",
     "GpuModel",
+    "LinkSpec",
     "NetworkModel",
     "Timeline",
     "TimelineEvent",
+    "Topology",
     "payload_nbytes",
 ]

@@ -11,7 +11,18 @@ and charged to every rank's clock.
 paper's pipeline: because error-bounded payloads have *variable* size,
 receivers cannot post buffers until they learn the sizes — so a
 fixed-size metadata all-to-all (stage ②) precedes the payload all-to-all
-(stage ③).
+(stage ③).  Each ``sendbufs[src][dst]`` entry may be a single buffer or a
+*sequence* of per-chunk payloads (one per table slice); receivers get the
+batch back intact and can hand it to
+:meth:`repro.train.pipeline.CompressionPipeline.decompress_batch` so the
+peek-table/codebook caches amortize across the whole exchange.
+
+With ``overlap=True`` the stage-① compression (charged on each rank's
+``compute`` stream) overlaps the metadata+payload wire time (on the
+``comm`` stream), and stage-④ decompression starts as soon as the first
+chunk arrives — the two-stage pipeline of the paper's future-work NCCL
+integration, priced end to end.  The overlapped makespan never exceeds
+the sequential one (chunk granularity bounds how much can hide).
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.dist.timeline import EventCategory
+from repro.dist.timeline import COMM_STREAM, COMPUTE_STREAM, EventCategory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.dist.simulator import ClusterSimulator
@@ -29,13 +40,16 @@ __all__ = ["Communicator", "payload_nbytes"]
 
 
 def payload_nbytes(payload: object) -> int:
-    """Wire size of one buffer: arrays by ``nbytes``, byte strings by length."""
+    """Wire size of one buffer: arrays by ``nbytes``, byte strings by
+    length, lists/tuples of buffers by the sum of their parts."""
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if isinstance(payload, memoryview):
         return payload.nbytes  # len() would count items, not bytes
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(part) for part in payload)
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 
 
@@ -57,6 +71,14 @@ class Communicator:
             if len(row) != n:
                 raise ValueError(f"rank {src} posted {len(row)} buffers, expected {n}")
 
+    def _byte_matrix(self, sendbufs: Sequence[Sequence[object]]) -> np.ndarray:
+        n = self.n_ranks
+        matrix = np.zeros((n, n), dtype=np.int64)
+        for src in range(n):
+            for dst in range(n):
+                matrix[src, dst] = payload_nbytes(sendbufs[src][dst])
+        return matrix
+
     # --------------------------------------------------------- all-to-all
 
     def all_to_all(
@@ -66,49 +88,244 @@ class Communicator:
     ) -> list[list[object]]:
         """Exchange ``sendbufs[src][dst]`` -> ``recvbufs[dst][src]``.
 
-        Payloads (arrays or byte strings) are handed over untouched, so
-        the data path is exact; the wire time of the full variable-size
-        exchange is charged once to all ranks under ``category``.
+        Payloads (arrays, byte strings, or sequences thereof) are handed
+        over untouched, so the data path is exact; the wire time of the
+        full variable-size exchange is charged once to all ranks under
+        ``category``.
         """
         self._check_square(sendbufs)
         n = self.n_ranks
-        matrix = np.zeros((n, n), dtype=np.int64)
-        for src in range(n):
-            for dst in range(n):
-                matrix[src, dst] = payload_nbytes(sendbufs[src][dst])
         self.simulator.collective(
-            self.simulator.network.all_to_all_time(matrix), category
+            self.simulator.network.all_to_all_time(self._byte_matrix(sendbufs)), category
         )
         return [[sendbufs[src][dst] for src in range(n)] for dst in range(n)]
+
+    def all_to_all_bytes(
+        self,
+        byte_matrix: np.ndarray,
+        category: str = EventCategory.ALLTOALL_FWD,
+    ) -> float:
+        """Charge the wire time of a variable-size all-to-all *without*
+        moving data — for exchanges whose numerics the caller shortcuts
+        (e.g. the trainer's uncompressed gradient all-to-all, where every
+        rank's contribution is already computed in process).  Returns the
+        common end time."""
+        matrix = np.asarray(byte_matrix)
+        n = self.n_ranks
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"byte matrix shape {matrix.shape} does not match {n} ranks"
+            )
+        return self.simulator.collective(
+            self.simulator.network.all_to_all_time(matrix), category
+        )
+
+    def _metadata_seconds(
+        self, metadata_bytes_per_entry: int, entries_per_pair
+    ) -> tuple[float, bool]:
+        """Stage-② wire time and whether the round is skipped outright.
+        ``entries_per_pair`` may be a scalar (every ordered pair carries
+        the same record count) or an ``n x n`` matrix of per-pair record
+        counts; an all-zero matrix skips the round entirely (e.g. a
+        gradient exchange with self-describing payloads only)."""
+        if metadata_bytes_per_entry <= 0:
+            raise ValueError(
+                f"metadata_bytes_per_entry must be > 0, got {metadata_bytes_per_entry!r}"
+            )
+        if np.isscalar(entries_per_pair):
+            if entries_per_pair <= 0:
+                raise ValueError(
+                    f"entries_per_pair must be > 0, got {entries_per_pair!r}"
+                )
+            seconds = self.simulator.network.uniform_all_to_all_time(
+                metadata_bytes_per_entry * entries_per_pair, self.n_ranks
+            )
+            return seconds, False
+        entries = np.asarray(entries_per_pair)
+        n = self.n_ranks
+        if entries.shape != (n, n):
+            raise ValueError(
+                f"entries_per_pair matrix shape {entries.shape} does not match {n} ranks"
+            )
+        if (entries < 0).any():
+            raise ValueError("entries_per_pair matrix entries must be >= 0")
+        if not entries.any():
+            return 0.0, True
+        seconds = self.simulator.network.all_to_all_time(
+            metadata_bytes_per_entry * entries.astype(np.float64)
+        )
+        return seconds, False
 
     def compressed_all_to_all(
         self,
         sendbufs: Sequence[Sequence[object]],
         metadata_bytes_per_entry: int = 16,
-        entries_per_pair: int = 1,
+        entries_per_pair: int | np.ndarray = 1,
         category: str = EventCategory.ALLTOALL_FWD,
+        *,
+        overlap: bool = False,
+        compress_seconds: Sequence[float] | None = None,
+        decompress_seconds: Sequence[float] | None = None,
+        chunks_per_rank: Sequence[int] | None = None,
+        compress_category: str = EventCategory.COMPRESS,
+        decompress_category: str = EventCategory.DECOMPRESS,
     ) -> list[list[object]]:
-        """Stages ②+③: fixed-size metadata round, then the payloads.
+        """Stages ①-④: compression, metadata round, payloads, decompression.
 
         Each ordered pair first exchanges ``entries_per_pair`` metadata
         records of ``metadata_bytes_per_entry`` bytes (compressed size +
         codec id per slice), charged as :data:`EventCategory.METADATA`;
-        the variable-size payload exchange follows.
+        the variable-size payload exchange follows.  ``entries_per_pair``
+        may be an ``n x n`` per-pair count matrix; all zeros skips the
+        metadata round (an exchange with self-describing framing only).
+
+        When ``compress_seconds`` / ``decompress_seconds`` give per-rank
+        stage-①/④ device times, the communicator charges them too — the
+        single entry point for the whole compressed exchange, so trainers
+        never touch the simulator's clocks for communication:
+
+        * ``overlap=False`` — strictly sequential: every rank compresses,
+          the cluster exchanges metadata then payloads, every rank
+          decompresses.
+        * ``overlap=True`` — two-stage pipeline: per-rank compression is
+          split into ``chunks_per_rank`` chunks; the wire starts after the
+          *first* chunk is ready (but cannot finish before the last chunk
+          plus its wire share), and decompression starts when the first
+          chunk lands.  Compression/decompression run on each rank's
+          ``compute`` stream, the wire on the ``comm`` stream, so the
+          timeline shows the overlap on separate chrome-trace lanes.
         """
-        if metadata_bytes_per_entry <= 0:
-            raise ValueError(
-                f"metadata_bytes_per_entry must be > 0, got {metadata_bytes_per_entry!r}"
-            )
-        if entries_per_pair <= 0:
-            raise ValueError(f"entries_per_pair must be > 0, got {entries_per_pair!r}")
         self._check_square(sendbufs)
-        self.simulator.collective(
-            self.simulator.network.uniform_all_to_all_time(
-                metadata_bytes_per_entry * entries_per_pair, self.n_ranks
-            ),
-            EventCategory.METADATA,
+        sim = self.simulator
+        n = self.n_ranks
+        meta_seconds, skip_metadata = self._metadata_seconds(
+            metadata_bytes_per_entry, entries_per_pair
         )
-        return self.all_to_all(sendbufs, category=category)
+        payload_seconds = sim.network.all_to_all_time(self._byte_matrix(sendbufs))
+        compress = self._per_rank_seconds(compress_seconds, "compress_seconds")
+        decompress = self._per_rank_seconds(decompress_seconds, "decompress_seconds")
+        chunks = self._per_rank_chunks(chunks_per_rank)
+
+        if not overlap:
+            for rank in range(n):
+                if compress[rank] > 0.0:
+                    sim.compute(rank, compress[rank], compress_category)
+            if not skip_metadata:
+                sim.collective(meta_seconds, EventCategory.METADATA)
+            sim.collective(payload_seconds, category)
+            for rank in range(n):
+                if decompress[rank] > 0.0:
+                    sim.compute(rank, decompress[rank], decompress_category)
+        else:
+            self._overlapped_exchange(
+                meta_seconds,
+                payload_seconds,
+                compress,
+                decompress,
+                chunks,
+                skip_metadata=skip_metadata,
+                category=category,
+                compress_category=compress_category,
+                decompress_category=decompress_category,
+            )
+        return [[sendbufs[src][dst] for src in range(n)] for dst in range(n)]
+
+    def _per_rank_seconds(self, values, name: str) -> list[float]:
+        if values is None:
+            return [0.0] * self.n_ranks
+        values = [float(v) for v in values]
+        if len(values) != self.n_ranks:
+            raise ValueError(f"{name} must have one entry per rank, got {len(values)}")
+        if any(v < 0 for v in values):
+            raise ValueError(f"{name} entries must be >= 0")
+        return values
+
+    def _per_rank_chunks(self, chunks_per_rank) -> list[int]:
+        if chunks_per_rank is None:
+            return [self.n_ranks] * self.n_ranks  # one chunk per destination
+        chunks = [int(c) for c in chunks_per_rank]
+        if len(chunks) != self.n_ranks:
+            raise ValueError(
+                f"chunks_per_rank must have one entry per rank, got {len(chunks)}"
+            )
+        if any(c < 1 for c in chunks):
+            raise ValueError("chunks_per_rank entries must be >= 1")
+        return chunks
+
+    def _overlapped_exchange(
+        self,
+        meta_seconds: float,
+        payload_seconds: float,
+        compress: list[float],
+        decompress: list[float],
+        chunks: list[int],
+        *,
+        skip_metadata: bool,
+        category: str,
+        compress_category: str,
+        decompress_category: str,
+    ) -> None:
+        """Charge the pipelined exchange.  Invariant (the overlap property
+        tests pin it): the resulting makespan never exceeds the sequential
+        layout's ``barrier + meta + payload + max(decompress)``."""
+        sim = self.simulator
+        n = self.n_ranks
+        starts = [sim.sync(rank) for rank in range(n)]
+        comp_ends = list(starts)
+        for rank in range(n):
+            if compress[rank] > 0.0:
+                comp_ends[rank] = sim.stream_compute(
+                    rank, compress[rank], compress_category, COMPUTE_STREAM
+                )
+        # The wire may start once every rank's FIRST chunk is compressed...
+        first_ready = max(
+            starts[rank] + compress[rank] / chunks[rank] for rank in range(n)
+        )
+        # ...but cannot finish before every rank's LAST chunk plus that
+        # rank's own per-chunk wire share (a coarse-chunked straggler
+        # holds the exchange open longer than a finely-chunked one).
+        meta_start = first_ready
+        payload_start = meta_start + meta_seconds
+        payload_end = max(
+            payload_start + payload_seconds,
+            max(
+                comp_ends[rank] + payload_seconds / chunks[rank] for rank in range(n)
+            ),
+        )
+        chunk_wire = payload_seconds / max(chunks)
+        for rank in range(n):
+            if not skip_metadata:
+                sim.stream_compute(
+                    rank,
+                    meta_seconds,
+                    EventCategory.METADATA,
+                    COMM_STREAM,
+                    not_before=meta_start,
+                )
+            sim.stream_compute(
+                rank,
+                payload_end - payload_start,
+                category,
+                COMM_STREAM,
+                not_before=payload_start,
+            )
+        # Stage ④ may begin when the first chunk lands, and the final
+        # chunk's decode trails the wire by one chunk's decode time.
+        first_arrival = min(payload_start + chunk_wire, payload_end)
+        for rank in range(n):
+            if decompress[rank] > 0.0:
+                release = max(
+                    first_arrival,
+                    payload_end - decompress[rank] * (1.0 - 1.0 / chunks[rank]),
+                )
+                sim.stream_compute(
+                    rank,
+                    decompress[rank],
+                    decompress_category,
+                    COMPUTE_STREAM,
+                    not_before=release,
+                )
+            sim.sync(rank)
 
     # --------------------------------------------------------- all-reduce
 
@@ -139,6 +356,29 @@ class Communicator:
             self.simulator.network.all_reduce_time(total.nbytes, self.n_ranks), category
         )
         return [total.copy() for _ in range(self.n_ranks)]
+
+    def all_reduce_bytes(
+        self,
+        nbytes: float,
+        category: str = EventCategory.ALLREDUCE,
+        algorithm: str = "ring",
+    ) -> float:
+        """Charge an all-reduce of ``nbytes`` without moving data (for
+        reductions whose numerics the caller computes in process, e.g. the
+        trainer's replicated data-parallel MLP gradients).  ``algorithm``
+        picks the flat ``"ring"`` or the topology-aware
+        ``"hierarchical"`` schedule.  Returns the common end time."""
+        if algorithm == "ring":
+            seconds = self.simulator.network.all_reduce_time(nbytes, self.n_ranks)
+        elif algorithm == "hierarchical":
+            seconds = self.simulator.network.hierarchical_all_reduce_time(
+                nbytes, self.n_ranks
+            )
+        else:
+            raise ValueError(
+                f"algorithm must be 'ring' or 'hierarchical', got {algorithm!r}"
+            )
+        return self.simulator.collective(seconds, category)
 
     # ---------------------------------------------------------- broadcast
 

@@ -1,21 +1,32 @@
-"""The cluster simulator: per-rank clocks + cost models + timeline.
+"""The cluster simulator: per-rank stream clocks + cost models + timeline.
 
 :class:`ClusterSimulator` owns everything one simulated training job
-needs: ``n_ranks`` serial device clocks, the :class:`GpuModel` that prices
+needs: ``n_ranks`` device clocks, the :class:`GpuModel` that prices
 compute, the :class:`NetworkModel` that prices collectives, the
 :class:`Communicator` that moves real data, and the :class:`Timeline`
 ledger every charge lands in.
 
-Two charging primitives cover the paper's whole execution model:
+Each rank carries *named streams* — by default ``compute`` (device
+kernels) and ``comm`` (wire occupancy) — so stage-① (de)compression can
+overlap stage-③ transmission, pricing the paper's future-work NCCL
+integration end to end.  A rank's clock is the max over its streams.
 
-* :meth:`compute` — rank-local work: advances one rank's clock and logs
-  an event starting at that rank's current time.
-* :meth:`collective` — synchronizing work: all ranks first meet at the
-  barrier (``max`` of clocks, modelling the straggler), then the charge
-  spans the identical interval on every rank.
+Charging primitives:
 
-Per-rank events therefore never overlap, and collectives appear on all
+* :meth:`compute` — rank-local work on the ``compute`` stream: advances
+  that stream's clock and logs an event starting at its current time.
+* :meth:`stream_compute` — the same on an arbitrary named stream, with an
+  optional ``not_before`` release time (an event may not start before its
+  inputs exist — e.g. decompression before the first chunk arrives).
+* :meth:`sync` — join all of one rank's streams (a device-wide event
+  barrier), like ``cudaStreamSynchronize`` on every stream.
+* :meth:`collective` — synchronizing work: all ranks (all streams) first
+  meet at the barrier (``max`` of clocks, modelling the straggler), then
+  the charge spans the identical interval on every rank's ``comm`` stream.
+
+Per-(rank, stream) events never overlap, and collectives appear on all
 ranks with identical spans — the invariants the integration tests pin.
+Events on *different* streams of one rank may overlap; that is the point.
 """
 
 from __future__ import annotations
@@ -25,13 +36,16 @@ import math
 from repro.dist.comm import Communicator
 from repro.dist.gpu import A100_LIKE, GpuModel
 from repro.dist.network import NetworkModel
-from repro.dist.timeline import Timeline
+from repro.dist.timeline import COMM_STREAM, COMPUTE_STREAM, Timeline
 
 __all__ = ["ClusterSimulator"]
 
 
 class ClusterSimulator:
-    """Per-rank clocks over shared GPU/network cost models."""
+    """Per-rank stream clocks over shared GPU/network cost models."""
+
+    #: streams preallocated on every rank
+    STREAMS = (COMPUTE_STREAM, COMM_STREAM)
 
     def __init__(
         self,
@@ -43,34 +57,59 @@ class ClusterSimulator:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks!r}")
         self.n_ranks = int(n_ranks)
         self.network = network if network is not None else NetworkModel()
+        if (
+            self.network.topology is not None
+            and self.network.topology.n_ranks != self.n_ranks
+        ):
+            raise ValueError(
+                f"network topology spans {self.network.topology.n_ranks} ranks "
+                f"but the simulator has {self.n_ranks}"
+            )
         self.gpu = gpu if gpu is not None else A100_LIKE
         self.timeline = Timeline()
-        self._clocks = [0.0] * self.n_ranks
+        self._streams: dict[str, list[float]] = {
+            stream: [0.0] * self.n_ranks for stream in self.STREAMS
+        }
         self.comm = Communicator(self)
 
     # -------------------------------------------------------------- clocks
 
     @property
     def clocks(self) -> tuple[float, ...]:
-        """Current per-rank clock readings."""
-        return tuple(self._clocks)
+        """Current per-rank clock readings (max over each rank's streams)."""
+        return tuple(
+            max(clocks[rank] for clocks in self._streams.values())
+            for rank in range(self.n_ranks)
+        )
 
     def now(self, rank: int) -> float:
         self._check_rank(rank)
-        return self._clocks[rank]
+        return max(clocks[rank] for clocks in self._streams.values())
+
+    def stream_now(self, rank: int, stream: str) -> float:
+        """Current clock of one named stream on one rank."""
+        self._check_rank(rank)
+        return self._stream_clocks(stream)[rank]
 
     def makespan(self) -> float:
         """Latest clock across the cluster — total simulated wall time."""
-        return max(self._clocks)
+        return max(self.clocks)
 
     def reset(self) -> None:
         """Zero all clocks and start a fresh timeline."""
-        self._clocks = [0.0] * self.n_ranks
+        self._streams = {stream: [0.0] * self.n_ranks for stream in self.STREAMS}
         self.timeline = Timeline()
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_ranks:
             raise ValueError(f"rank must be in [0, {self.n_ranks}), got {rank!r}")
+
+    def _stream_clocks(self, stream: str) -> list[float]:
+        clocks = self._streams.get(stream)
+        if clocks is None:  # new named streams start joined to the rank clock
+            clocks = list(self.clocks)
+            self._streams[stream] = clocks
+        return clocks
 
     @staticmethod
     def _check_seconds(seconds: float) -> float:
@@ -82,29 +121,63 @@ class ClusterSimulator:
     # ------------------------------------------------------------ charging
 
     def compute(self, rank: int, seconds: float, category: str) -> float:
-        """Charge rank-local work; returns the event's end time."""
+        """Charge rank-local work on the ``compute`` stream; returns the
+        event's end time."""
+        return self.stream_compute(rank, seconds, category, stream=COMPUTE_STREAM)
+
+    def stream_compute(
+        self,
+        rank: int,
+        seconds: float,
+        category: str,
+        stream: str = COMPUTE_STREAM,
+        *,
+        not_before: float | None = None,
+    ) -> float:
+        """Charge work to one named stream of one rank.
+
+        The event starts at the stream's clock, delayed to ``not_before``
+        if given (the release time of the event's inputs); only that
+        stream's clock advances, so events on the rank's other streams may
+        run concurrently.  Returns the event's end time.
+        """
         self._check_rank(rank)
         seconds = self._check_seconds(seconds)
-        start = self._clocks[rank]
-        self.timeline.record(rank, category, start, seconds)
-        self._clocks[rank] = start + seconds
-        return self._clocks[rank]
+        clocks = self._stream_clocks(stream)
+        start = clocks[rank]
+        if not_before is not None:
+            start = max(start, self._check_seconds(not_before))
+        self.timeline.record(rank, category, start, seconds, stream=stream)
+        clocks[rank] = start + seconds
+        return clocks[rank]
 
-    def collective(self, seconds: float, category: str) -> float:
-        """Barrier-synchronize all ranks, then charge ``seconds`` to each
-        over the identical interval; returns the common end time."""
+    def sync(self, rank: int) -> float:
+        """Join all streams of one rank (device-wide event barrier); no
+        event is logged.  Returns the joined clock."""
+        self._check_rank(rank)
+        joined = self.now(rank)
+        for clocks in self._streams.values():
+            clocks[rank] = joined
+        return joined
+
+    def collective(self, seconds: float, category: str, stream: str = COMM_STREAM) -> float:
+        """Barrier-synchronize all ranks (all streams), then charge
+        ``seconds`` to each rank's ``stream`` over the identical interval;
+        returns the common end time."""
         seconds = self._check_seconds(seconds)
-        start = max(self._clocks)
+        start = self.barrier()
         for rank in range(self.n_ranks):
-            self.timeline.record(rank, category, start, seconds)
+            self.timeline.record(rank, category, start, seconds, stream=stream)
         end = start + seconds
-        self._clocks = [end] * self.n_ranks
+        for clocks in self._streams.values():
+            clocks[:] = [end] * self.n_ranks
         return end
 
     def barrier(self) -> float:
-        """Synchronize clocks without charging time (no event logged)."""
-        end = max(self._clocks)
-        self._clocks = [end] * self.n_ranks
+        """Synchronize all clocks without charging time (no event logged)."""
+        end = self.makespan()
+        for clocks in self._streams.values():
+            clocks[:] = [end] * self.n_ranks
         return end
 
     def __repr__(self) -> str:

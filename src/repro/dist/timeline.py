@@ -2,8 +2,11 @@
 
 :class:`Timeline` is the ledger behind every breakdown figure (Figs. 1 and
 12): each simulated operation appends a :class:`TimelineEvent` tagged with
-its rank, an :class:`EventCategory`, a start time, and a duration.  The
-profiling layer aggregates these into category->seconds mappings.
+its rank, an :class:`EventCategory`, the *stream* it ran on (``compute``
+for device kernels, ``comm`` for wire occupancy — per-rank streams are how
+the simulator models compression overlapping the exchange), a start time,
+and a duration.  The profiling layer aggregates these into
+category->seconds mappings and overlap-efficiency reports.
 
 :class:`EventCategory` enumerates the 15 stages of one hybrid-parallel
 DLRM iteration, in execution order — the forward pass, the 4-stage
@@ -18,7 +21,7 @@ from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 
-__all__ = ["EventCategory", "TimelineEvent", "Timeline"]
+__all__ = ["EventCategory", "TimelineEvent", "Timeline", "COMPUTE_STREAM", "COMM_STREAM"]
 
 
 class EventCategory(str, Enum):
@@ -54,6 +57,11 @@ EventCategory.COMMUNICATION = (
 )
 
 
+#: default stream names: device kernels vs wire occupancy
+COMPUTE_STREAM = "compute"
+COMM_STREAM = "comm"
+
+
 @dataclass(frozen=True)
 class TimelineEvent:
     """One simulated operation on one rank's clock."""
@@ -62,6 +70,7 @@ class TimelineEvent:
     category: str
     start: float
     duration: float
+    stream: str = COMPUTE_STREAM
 
     @property
     def end(self) -> float:
@@ -77,7 +86,14 @@ class Timeline:
     def __len__(self) -> int:
         return len(self.events)
 
-    def record(self, rank: int, category: str, start: float, duration: float) -> TimelineEvent:
+    def record(
+        self,
+        rank: int,
+        category: str,
+        start: float,
+        duration: float,
+        stream: str = COMPUTE_STREAM,
+    ) -> TimelineEvent:
         """Append one event and return it."""
         if rank < 0:
             raise ValueError(f"rank must be >= 0, got {rank!r}")
@@ -85,7 +101,13 @@ class Timeline:
             raise ValueError(f"duration must be >= 0, got {duration!r}")
         if start < 0:
             raise ValueError(f"start must be >= 0, got {start!r}")
-        event = TimelineEvent(rank=int(rank), category=category, start=float(start), duration=float(duration))
+        event = TimelineEvent(
+            rank=int(rank),
+            category=category,
+            start=float(start),
+            duration=float(duration),
+            stream=str(stream),
+        )
         self.events.append(event)
         return event
 
@@ -99,6 +121,10 @@ class Timeline:
 
     def ranks(self) -> list[int]:
         return sorted({e.rank for e in self.events})
+
+    def streams(self) -> list[str]:
+        """Stream names present in the ledger, compute lane first."""
+        return sorted({e.stream for e in self.events}, key=lambda s: (s != COMPUTE_STREAM, s))
 
     def span(self, rank: int | None = None) -> float:
         """Latest event end on ``rank`` (or across all ranks)."""
@@ -120,12 +146,23 @@ class Timeline:
         """Export the ledger as Chrome ``chrome://tracing`` / Perfetto JSON.
 
         Every event becomes a complete-duration (``"ph": "X"``) event with
-        microsecond timestamps; ranks map to thread ids (one lane per
-        simulated GPU) inside a single process, with ``"M"`` metadata
-        events naming the process and each rank's lane.  Load the returned
-        object (or the file written by :meth:`dump_chrome_trace`) directly
-        in ``chrome://tracing`` or https://ui.perfetto.dev.
+        microsecond timestamps; every ``(rank, stream)`` pair maps to its
+        own thread id inside a single process, so overlapped compute/comm
+        events render side by side instead of stacked.  A single-stream
+        ledger keeps the legacy ``tid == rank`` mapping.  ``"M"`` metadata
+        events name the process and each lane.  Load the returned object
+        (or the file written by :meth:`dump_chrome_trace`) directly in
+        ``chrome://tracing`` or https://ui.perfetto.dev.
         """
+        streams = self.streams()
+        n_streams = max(1, len(streams))
+        stream_index = {stream: i for i, stream in enumerate(streams)}
+
+        def lane(rank: int, stream: str) -> int:
+            if n_streams == 1:
+                return rank
+            return rank * n_streams + stream_index[stream]
+
         trace_events: list[dict] = [
             {
                 "name": "process_name",
@@ -135,16 +172,23 @@ class Timeline:
                 "args": {"name": process_name},
             }
         ]
+        streams_by_rank: dict[int, set[str]] = {}
+        for e in self.events:
+            streams_by_rank.setdefault(e.rank, set()).add(e.stream)
         for rank in self.ranks():
-            trace_events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": 0,
-                    "tid": rank,
-                    "args": {"name": f"rank {rank}"},
-                }
-            )
+            for stream in streams:
+                if stream not in streams_by_rank[rank]:
+                    continue
+                label = f"rank {rank}" if n_streams == 1 else f"rank {rank} [{stream}]"
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": lane(rank, stream),
+                        "args": {"name": label},
+                    }
+                )
         for e in self.events:
             trace_events.append(
                 {
@@ -152,7 +196,7 @@ class Timeline:
                     "cat": "sim",
                     "ph": "X",
                     "pid": 0,
-                    "tid": e.rank,
+                    "tid": lane(e.rank, e.stream),
                     "ts": e.start * 1e6,
                     "dur": e.duration * 1e6,
                 }

@@ -6,6 +6,8 @@ from repro.profiling.breakdown import (
     breakdown_report,
     breakdown_rows,
     compare_runs,
+    overlap_efficiency,
+    overlap_report,
 )
 
 #: perfbench names re-exported lazily (PEP 562): an eager import here would
@@ -38,6 +40,8 @@ __all__ = [
     "breakdown_report",
     "SpeedupSummary",
     "compare_runs",
+    "overlap_report",
+    "overlap_efficiency",
     "PAPER_SHAPES",
     "PerfRecord",
     "make_lookup_batch",

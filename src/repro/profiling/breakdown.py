@@ -1,8 +1,10 @@
 """Training-time breakdown reports (Fig. 1 and Fig. 12 style).
 
 Turns a :class:`~repro.dist.timeline.Timeline` (or a category->seconds
-mapping) into the stacked-fraction rows the paper plots, and compares a
-baseline run against a compressed run for the end-to-end speedup numbers.
+mapping) into the stacked-fraction rows the paper plots, compares a
+baseline run against a compressed run for the end-to-end speedup numbers,
+and measures *overlap efficiency* — how much of the wire time a pipelined
+(per-rank-stream) run actually hides behind compute.
 """
 
 from __future__ import annotations
@@ -12,7 +14,15 @@ from dataclasses import dataclass
 from repro.dist.timeline import EventCategory, Timeline
 from repro.utils.tables import format_table
 
-__all__ = ["CATEGORY_LABELS", "breakdown_rows", "breakdown_report", "SpeedupSummary", "compare_runs"]
+__all__ = [
+    "CATEGORY_LABELS",
+    "breakdown_rows",
+    "breakdown_report",
+    "SpeedupSummary",
+    "compare_runs",
+    "overlap_report",
+    "overlap_efficiency",
+]
 
 CATEGORY_LABELS: dict[str, str] = {
     EventCategory.BOTTOM_MLP_FWD: "Bottom MLP (fwd)",
@@ -74,6 +84,63 @@ def breakdown_report(
         ("  of which communication", f"{comm * 1e3:.3f} ms", f"{100 * comm / total if total else 0:.1f}%")
     )
     return format_table(["Stage", "Time", "Share"], rows, title=title)
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    total = 0.0
+    current_start = current_end = None
+    for start, end in sorted(intervals):
+        if current_end is None or start > current_end:
+            if current_end is not None:
+                total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    if current_end is not None:
+        total += current_end - current_start
+    return total
+
+
+def overlap_report(timeline: Timeline) -> dict[int, dict[str, float]]:
+    """Per-rank overlap accounting from a (possibly multi-stream) timeline.
+
+    For each rank: ``busy`` is the union of all its event intervals,
+    ``charged`` the plain sum of durations, ``overlapped`` their
+    difference (time during which at least two streams were double-booked
+    — zero for any sequential run), ``comm`` the charged wire seconds,
+    and ``efficiency`` the fraction of wire time hidden behind compute,
+    ``overlapped / comm`` (clamped to [0, 1]).
+    """
+    report: dict[int, dict[str, float]] = {}
+    for rank in timeline.ranks():
+        events = timeline.events_for_rank(rank)
+        charged = sum(e.duration for e in events)
+        busy = _union_seconds([(e.start, e.end) for e in events])
+        overlapped = max(0.0, charged - busy)
+        comm = sum(
+            e.duration for e in events if e.category in EventCategory.COMMUNICATION
+        )
+        report[rank] = {
+            "charged": charged,
+            "busy": busy,
+            "overlapped": overlapped,
+            "comm": comm,
+            "efficiency": min(1.0, overlapped / comm) if comm > 0 else 0.0,
+        }
+    return report
+
+
+def overlap_efficiency(timeline: Timeline) -> float:
+    """Cluster-wide overlap efficiency: total double-booked seconds over
+    total wire seconds — 0 for a fully sequential run, approaching 1 when
+    the whole exchange hides behind compute."""
+    per_rank = overlap_report(timeline)
+    total_comm = sum(r["comm"] for r in per_rank.values())
+    if total_comm == 0:
+        return 0.0
+    total_overlap = sum(r["overlapped"] for r in per_rank.values())
+    return min(1.0, total_overlap / total_comm)
 
 
 @dataclass(frozen=True)

@@ -49,9 +49,11 @@ from repro.compression.baselines.lz_generic import (
 )
 from repro.compression.huffman import (
     _reference_huffman_decode,
+    _reference_huffman_encode,
     huffman_decode,
     huffman_encode,
 )
+from repro.compression.hybrid import HybridCompressor
 from repro.compression.quantizer import quantize_batch
 from repro.compression.vector_lz import (
     _reference_vector_lz_decode,
@@ -213,6 +215,7 @@ def run_suite(
         add(
             "huffman", "encode", shape_name, rows, dim, nbytes,
             lambda: huffman_encode(codes, alphabet),
+            lambda: _reference_huffman_encode(codes, alphabet),
         )
         huff_stream = huffman_encode(codes, alphabet)
         add(
@@ -233,6 +236,19 @@ def run_suite(
             "lz4_like", "decode", shape_name, rows, dim, nbytes,
             lambda: lz77_decode_bytes(byte_stream, len(raw)),
             lambda: _reference_lz77_decode_bytes(byte_stream, len(raw)),
+        )
+
+        # --- end-to-end hybrid codec, framing included (what one table
+        # slice actually pays on the training hot path) ---
+        hybrid = HybridCompressor()
+        add(
+            "hybrid", "compress", shape_name, rows, dim, nbytes,
+            lambda: hybrid.compress(batch, error_bound),
+        )
+        hybrid_payload = hybrid.compress(batch, error_bound)
+        add(
+            "hybrid", "decompress", shape_name, rows, dim, nbytes,
+            lambda: hybrid.decompress(hybrid_payload),
         )
 
         # --- FZ-GPU-like bit-plane baseline ---

@@ -13,6 +13,13 @@ compression under the dual-level adaptive controller, a metadata all-to-all
 (stage ②, needed because error-bounded payloads have variable size), the
 payload all-to-all, and per-slice decompression.
 
+**Every collective goes through the** :class:`~repro.dist.comm.Communicator`
+— the trainer never charges ``simulator.collective`` directly, so trainer
+and communicator cannot drift apart.  ``overlap=True`` runs the compressed
+exchanges in the communicator's pipelined mode (stage ① overlapping stage
+③ on per-rank streams); ``allreduce_algorithm="hierarchical"`` prices the
+dense synchronization with the topology-aware hierarchical schedule.
+
 **Numerics vs. timing.**  All ranks of the simulation share one
 :class:`~repro.model.dlrm.DLRM` parameter set: replicated data-parallel
 MLPs with all-reduced gradients are numerically identical to a single copy
@@ -30,7 +37,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.synthetic import SyntheticClickDataset
-from repro.dist.comm import Communicator
 from repro.dist.simulator import ClusterSimulator
 from repro.dist.timeline import EventCategory, Timeline
 from repro.model.dlrm import DLRM
@@ -87,14 +93,19 @@ class HybridParallelTrainer:
         lr: float = 0.1,
         optimizer: str = "sgd",
         sharding: ShardingPlan | None = None,
+        overlap: bool = False,
+        allreduce_algorithm: str = "ring",
     ):
         check_positive("lr", lr)
         check_in("optimizer", optimizer, ("sgd", "adagrad"))
+        check_in("allreduce_algorithm", allreduce_algorithm, ("ring", "hierarchical"))
         self.model = model
         self.dataset = dataset
         self.simulator = simulator
-        self.comm = Communicator(simulator)
+        self.comm = simulator.comm
         self.pipeline = pipeline
+        self.overlap = bool(overlap)
+        self.allreduce_algorithm = allreduce_algorithm
         n_tables = model.config.n_tables
         self.sharding = sharding or ShardingPlan.size_balanced(
             list(model.config.table_cardinalities), simulator.n_ranks
@@ -155,17 +166,38 @@ class HybridParallelTrainer:
         self.forward_raw_bytes += int(raw_matrix.sum())
 
         if self.pipeline is None:
-            self.simulator.collective(
-                self.simulator.network.all_to_all_time(raw_matrix),
-                EventCategory.ALLTOALL_FWD,
-            )
+            # Uncompressed: each owner posts its per-destination row slices
+            # (views — wire size equals the raw bytes) and receivers stitch
+            # the full-batch rows back per table, bit-identically.
+            sendbufs = [
+                [
+                    [raw_lookups[t][lo:hi] for t in self.sharding.tables_of(rank)]
+                    for (lo, hi) in slices
+                ]
+                for rank in range(self.n_ranks)
+            ]
+            received = self.comm.all_to_all(sendbufs, EventCategory.ALLTOALL_FWD)
             self.forward_wire_bytes += int(raw_matrix.sum())
-            return [raw_lookups[t] for t in range(cfg.n_tables)]
+            reconstructed = []
+            for table_id in range(cfg.n_tables):
+                owner = self.sharding.owner_of(table_id)
+                index = self.sharding.tables_of(owner).index(table_id)
+                reconstructed.append(
+                    np.concatenate(
+                        [received[dst][owner][index] for dst in range(self.n_ranks)],
+                        axis=0,
+                    )
+                )
+            return reconstructed
 
-        # Stage ①: compress per (owned table x destination slice).
+        # Stage ①: compress per (owned table x destination slice); the
+        # communicator charges all four stages (and, in overlap mode,
+        # pipelines stage ① against the wire on per-rank streams).
         payloads: dict[tuple[int, int], bytes] = {}  # (table, dst) -> payload
         wire_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
-        meta_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        entries_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
+        compress_seconds = [0.0] * self.n_ranks
+        chunks_per_rank = [1] * self.n_ranks
         for rank in range(self.n_ranks):
             chunks: list[tuple[str, int]] = []
             for table_id in self.sharding.tables_of(rank):
@@ -175,39 +207,49 @@ class HybridParallelTrainer:
                     payload = self.pipeline.compress_slice(table_id, rows[lo:hi], iteration)
                     payloads[(table_id, dst)] = payload
                     wire_matrix[rank, dst] += len(payload)
-                    meta_matrix[rank, dst] += self.pipeline.metadata_bytes_per_entry
+                    entries_matrix[rank, dst] += 1
                     chunks.append((codec, rows[lo:hi].nbytes))
             if chunks:
-                self.simulator.compute(
-                    rank, self.pipeline.compression_seconds(chunks), EventCategory.COMPRESS
-                )
+                compress_seconds[rank] = self.pipeline.compression_seconds(chunks)
+                chunks_per_rank[rank] = len(chunks)
 
-        # Stage ②: metadata exchange (compressed sizes + codec ids).
-        self.simulator.collective(
-            self.simulator.network.all_to_all_time(meta_matrix), EventCategory.METADATA
-        )
-        # Stage ③: variable-size payload exchange.
-        self.simulator.collective(
-            self.simulator.network.all_to_all_time(wire_matrix), EventCategory.ALLTOALL_FWD
+        # Every receiver decodes the same per-slice chunk set.
+        decompress_seconds = [
+            self.pipeline.decompression_seconds(
+                [
+                    (self.pipeline.controller.compressor_name(t), slice_bytes)
+                    for t in range(cfg.n_tables)
+                ]
+            )
+        ] * self.n_ranks
+        sendbufs = [
+            [
+                [payloads[(t, dst)] for t in self.sharding.tables_of(rank)]
+                for dst in range(self.n_ranks)
+            ]
+            for rank in range(self.n_ranks)
+        ]
+        # Stages ②+③(+①/④ timing): metadata round, then payloads.
+        self.comm.compressed_all_to_all(
+            sendbufs,
+            metadata_bytes_per_entry=self.pipeline.metadata_bytes_per_entry,
+            entries_per_pair=entries_matrix,
+            category=EventCategory.ALLTOALL_FWD,
+            overlap=self.overlap,
+            compress_seconds=compress_seconds,
+            decompress_seconds=decompress_seconds,
+            chunks_per_rank=chunks_per_rank,
         )
         self.forward_wire_bytes += int(wire_matrix.sum())
 
-        # Stage ④: every receiver decompresses all tables for its slice.
+        # Stage ④ numerics: every receiver decodes all tables for its
+        # slice; the batched decode keeps codec caches hot per table.
         reconstructed: list[np.ndarray] = []
         for table_id in range(cfg.n_tables):
-            parts = [
-                self.pipeline.decompress_slice(payloads[(table_id, dst)])
-                for dst in range(self.n_ranks)
-            ]
-            reconstructed.append(np.concatenate(parts, axis=0))
-        for rank in range(self.n_ranks):
-            chunks = [
-                (self.pipeline.controller.compressor_name(t), slice_bytes)
-                for t in range(cfg.n_tables)
-            ]
-            self.simulator.compute(
-                rank, self.pipeline.decompression_seconds(chunks), EventCategory.DECOMPRESS
+            parts = self.pipeline.decompress_batch(
+                [payloads[(table_id, dst)] for dst in range(self.n_ranks)]
             )
+            reconstructed.append(np.concatenate(parts, axis=0))
         return reconstructed
 
     def _backward_exchange(
@@ -223,45 +265,55 @@ class HybridParallelTrainer:
         slice_bytes = local * cfg.embedding_dim * 4
 
         compress = self.pipeline is not None and self.pipeline.compress_backward
-        grad_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
         grads_to_apply: list[np.ndarray] = list(d_emb)
         if compress:
+            # Gradient payloads are self-describing (no metadata round);
+            # sendbufs[src][owner] batches every table slice src owes owner.
+            sendbufs: list[list[list[bytes]]] = [
+                [[] for _ in range(self.n_ranks)] for _ in range(self.n_ranks)
+            ]
+            grads_to_apply = [g.copy() for g in d_emb]  # slices replaced below
+            compress_seconds = [0.0] * self.n_ranks
+            chunks_per_rank = [1] * self.n_ranks
             for src, (lo, hi) in enumerate(slices):
                 chunks: list[tuple[str, int]] = []
                 for table_id in range(cfg.n_tables):
                     owner = self.sharding.owner_of(table_id)
                     rows = np.ascontiguousarray(d_emb[table_id][lo:hi], dtype=np.float32)
                     payload = self.pipeline.compress_slice(table_id, rows, iteration)
-                    grads_to_apply[table_id] = grads_to_apply[table_id].copy()
                     grads_to_apply[table_id][lo:hi] = self.pipeline.decompress_slice(payload)
-                    grad_matrix[src, owner] += len(payload)
+                    sendbufs[src][owner].append(payload)
                     chunks.append(
                         (self.pipeline.controller.compressor_name(table_id), rows.nbytes)
                     )
-                self.simulator.compute(
-                    src, self.pipeline.compression_seconds(chunks), EventCategory.COMPRESS
+                compress_seconds[src] = self.pipeline.compression_seconds(chunks)
+                chunks_per_rank[src] = max(1, len(chunks))
+            decompress_seconds = [
+                self.pipeline.decompression_seconds(
+                    [
+                        (self.pipeline.controller.compressor_name(t), slice_bytes)
+                        for t in self.sharding.tables_of(rank)
+                        for _ in range(self.n_ranks)
+                    ]
                 )
+                if self.sharding.tables_of(rank)
+                else 0.0
+                for rank in range(self.n_ranks)
+            ]
+            self.comm.compressed_all_to_all(
+                sendbufs,
+                entries_per_pair=np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64),
+                category=EventCategory.ALLTOALL_BWD,
+                overlap=self.overlap,
+                compress_seconds=compress_seconds,
+                decompress_seconds=decompress_seconds,
+                chunks_per_rank=chunks_per_rank,
+            )
         else:
+            grad_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
             for table_id in range(cfg.n_tables):
                 grad_matrix[:, self.sharding.owner_of(table_id)] += slice_bytes
-
-        self.simulator.collective(
-            self.simulator.network.all_to_all_time(grad_matrix), EventCategory.ALLTOALL_BWD
-        )
-        if compress:
-            for rank in range(self.n_ranks):
-                owned = self.sharding.tables_of(rank)
-                chunks = [
-                    (self.pipeline.controller.compressor_name(t), slice_bytes)
-                    for t in owned
-                    for _ in range(self.n_ranks)
-                ]
-                if chunks:
-                    self.simulator.compute(
-                        rank,
-                        self.pipeline.decompression_seconds(chunks),
-                        EventCategory.DECOMPRESS,
-                    )
+            self.comm.all_to_all_bytes(grad_matrix, EventCategory.ALLTOALL_BWD)
 
         for rank in range(self.n_ranks):
             owned = self.sharding.tables_of(rank)
@@ -318,10 +370,10 @@ class HybridParallelTrainer:
         self._charge_mlp(local, self.model.bottom_mlp.sizes, EventCategory.BOTTOM_MLP_BWD, scale=2.0)
         self.model.backward_dense(d_bottom)
 
-        # Dense gradient synchronization + update.
-        self.simulator.collective(
-            self.simulator.network.all_reduce_time(self._mlp_param_bytes, self.n_ranks),
-            EventCategory.ALLREDUCE,
+        # Dense gradient synchronization + update (numerics are exact by
+        # construction: replicated MLPs over the global batch).
+        self.comm.all_reduce_bytes(
+            self._mlp_param_bytes, algorithm=self.allreduce_algorithm
         )
         param_bytes = sum(p.data.nbytes for p in self.model.parameters())
         for rank in range(self.n_ranks):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -117,6 +118,17 @@ class CompressionPipeline:
     def decompress_slice(self, payload: bytes) -> np.ndarray:
         """Stage ④: reconstruct a slice (self-describing payload)."""
         return decompress_any(payload)
+
+    def decompress_batch(self, payloads: Sequence[bytes]) -> list[np.ndarray]:
+        """Stage ④ over a whole received batch (e.g. every slice of one
+        exchange, as handed back by
+        :meth:`~repro.dist.comm.Communicator.compressed_all_to_all`).
+
+        Decoding back to back keeps the Huffman peek-table and codebook
+        caches hot across payloads that share a table's codebook — one
+        cache fill amortizes over the exchange instead of per slice.
+        """
+        return [decompress_any(payload) for payload in payloads]
 
     def roundtrip(self, table_id: int, rows: np.ndarray, iteration: int) -> np.ndarray:
         """Compress + decompress — the noise the receiver actually sees.

@@ -6,7 +6,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.dist import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
     ClusterSimulator,
     Communicator,
     EventCategory,
@@ -231,3 +236,224 @@ class TestClusterSimulator:
 
     def test_repr(self, sim):
         assert "n_ranks=4" in repr(sim)
+
+
+class TestStreams:
+    def test_streams_advance_independently(self, sim):
+        sim.stream_compute(0, 1.0, EventCategory.COMPRESS, COMPUTE_STREAM)
+        sim.stream_compute(0, 0.25, EventCategory.ALLTOALL_FWD, COMM_STREAM)
+        assert sim.stream_now(0, COMPUTE_STREAM) == pytest.approx(1.0)
+        assert sim.stream_now(0, COMM_STREAM) == pytest.approx(0.25)
+        # Rank clock is the max over its streams.
+        assert sim.now(0) == pytest.approx(1.0)
+        # The comm event started at 0 — concurrent with the compute event.
+        comm_event = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)[0]
+        assert comm_event.start == 0.0 and comm_event.stream == COMM_STREAM
+
+    def test_sync_joins_streams(self, sim):
+        sim.stream_compute(1, 2.0, EventCategory.COMPRESS, COMPUTE_STREAM)
+        assert sim.stream_now(1, COMM_STREAM) == 0.0
+        assert sim.sync(1) == pytest.approx(2.0)
+        assert sim.stream_now(1, COMM_STREAM) == pytest.approx(2.0)
+        # Other ranks untouched (sync is per rank, not a barrier).
+        assert sim.now(0) == 0.0
+
+    def test_not_before_delays_start(self, sim):
+        end = sim.stream_compute(
+            0, 1.0, EventCategory.DECOMPRESS, COMPUTE_STREAM, not_before=5.0
+        )
+        assert end == pytest.approx(6.0)
+        event = sim.timeline.events_in_category(EventCategory.DECOMPRESS)[0]
+        assert event.start == pytest.approx(5.0)
+
+    def test_collective_lands_on_comm_stream_and_joins_all(self, sim):
+        sim.stream_compute(2, 1.0, EventCategory.COMPRESS, COMPUTE_STREAM)
+        sim.collective(0.5, EventCategory.ALLTOALL_FWD)
+        events = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        assert all(e.stream == COMM_STREAM for e in events)
+        assert all(e.start == pytest.approx(1.0) for e in events)
+        assert sim.clocks == tuple([pytest.approx(1.5)] * 4)
+
+    def test_per_stream_events_never_overlap(self, sim):
+        for _ in range(3):
+            sim.stream_compute(0, 0.5, EventCategory.COMPRESS, COMPUTE_STREAM)
+            sim.stream_compute(0, 0.7, EventCategory.ALLTOALL_FWD, COMM_STREAM)
+        for stream in (COMPUTE_STREAM, COMM_STREAM):
+            events = sorted(
+                (e for e in sim.timeline.events if e.stream == stream),
+                key=lambda e: e.start,
+            )
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-12
+
+    def test_reset_clears_streams(self, sim):
+        sim.stream_compute(0, 1.0, EventCategory.COMPRESS, COMM_STREAM)
+        sim.reset()
+        assert sim.makespan() == 0.0
+        assert sim.stream_now(0, COMM_STREAM) == 0.0
+
+
+def _run_compressed_exchange(overlap: bool, compress, decompress, sizes, chunks):
+    n = len(compress)
+    sim = ClusterSimulator(n, network=NetworkModel(bandwidth=1e9, latency=1e-6))
+    sendbufs = [[b"x" * sizes[src][dst] for dst in range(n)] for src in range(n)]
+    sim.comm.compressed_all_to_all(
+        sendbufs,
+        overlap=overlap,
+        compress_seconds=compress,
+        decompress_seconds=decompress,
+        chunks_per_rank=chunks,
+    )
+    return sim
+
+
+class TestOverlappedExchange:
+    def test_overlap_reduces_makespan(self):
+        compress = [1e-3] * 4
+        decompress = [5e-4] * 4
+        sizes = [[40_000] * 4 for _ in range(4)]
+        chunks = [8] * 4
+        sequential = _run_compressed_exchange(False, compress, decompress, sizes, chunks)
+        overlapped = _run_compressed_exchange(True, compress, decompress, sizes, chunks)
+        assert overlapped.makespan() < sequential.makespan()
+
+    def test_overlap_events_double_book_streams(self):
+        sim = _run_compressed_exchange(
+            True, [1e-3] * 4, [5e-4] * 4, [[40_000] * 4] * 4, [8] * 4
+        )
+        wire = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        compress = sim.timeline.events_in_category(EventCategory.COMPRESS)
+        assert all(e.stream == COMM_STREAM for e in wire)
+        assert all(e.stream == COMPUTE_STREAM for e in compress)
+        # The wire starts before compression has finished: true overlap.
+        assert min(e.start for e in wire) < max(e.end for e in compress)
+
+    def test_overlap_collective_spans_identical_across_ranks(self):
+        sim = _run_compressed_exchange(
+            True, [1e-3, 2e-3, 5e-4, 0.0], [1e-4] * 4, [[10_000] * 4] * 4, [4] * 4
+        )
+        for category in (EventCategory.METADATA, EventCategory.ALLTOALL_FWD):
+            events = sim.timeline.events_in_category(category)
+            assert len({(e.start, e.end) for e in events}) == 1
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_never_worse_property(self, n, seed):
+        """The satellite property: overlapped makespan <= sequential, for
+        arbitrary per-rank compress/decompress times, payload sizes, and
+        chunk granularities."""
+        rng = np.random.default_rng(seed)
+        compress = rng.uniform(0.0, 2e-3, size=n).tolist()
+        decompress = rng.uniform(0.0, 2e-3, size=n).tolist()
+        sizes = rng.integers(0, 60_000, size=(n, n)).tolist()
+        chunks = rng.integers(1, 12, size=n).tolist()
+        sequential = _run_compressed_exchange(False, compress, decompress, sizes, chunks)
+        overlapped = _run_compressed_exchange(True, compress, decompress, sizes, chunks)
+        assert overlapped.makespan() <= sequential.makespan() + 1e-12
+
+    def test_straggler_chunk_granularity_holds_the_wire_open(self):
+        """The wire cannot finish before the compression straggler's last
+        chunk plus that rank's OWN wire share: chunking the straggler
+        coarser must lengthen the exchange, even when another rank is
+        finely chunked."""
+        compress = [1e-3, 0.0]
+        sizes = [[400_000] * 2] * 2
+        coarse = _run_compressed_exchange(True, compress, [0.0] * 2, sizes, [2, 8])
+        fine = _run_compressed_exchange(True, compress, [0.0] * 2, sizes, [8, 8])
+        assert coarse.makespan() > fine.makespan()
+
+    def test_single_chunk_overlap_cannot_hide_compression(self):
+        """With one chunk per rank the wire cannot start early; only the
+        decode tail can hide, so the gain is bounded."""
+        compress = [1e-3] * 4
+        sizes = [[40_000] * 4] * 4
+        sequential = _run_compressed_exchange(False, compress, [0.0] * 4, sizes, [1] * 4)
+        overlapped = _run_compressed_exchange(True, compress, [0.0] * 4, sizes, [1] * 4)
+        assert overlapped.makespan() == pytest.approx(sequential.makespan())
+
+    def test_validation(self, sim):
+        good = [[b"x"] * 4] * 4
+        with pytest.raises(ValueError, match="compress_seconds"):
+            sim.comm.compressed_all_to_all(good, compress_seconds=[1.0])
+        with pytest.raises(ValueError, match="chunks_per_rank"):
+            sim.comm.compressed_all_to_all(good, chunks_per_rank=[0] * 4)
+        with pytest.raises(ValueError, match="entries_per_pair"):
+            sim.comm.compressed_all_to_all(good, entries_per_pair=np.ones((3, 3)))
+
+
+class TestEntriesMatrix:
+    def test_matrix_metadata_matches_matrix_pricing(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        sim = ClusterSimulator(4, network=net)
+        entries = np.arange(16).reshape(4, 4)
+        sim.comm.compressed_all_to_all(
+            [[b"x"] * 4] * 4, metadata_bytes_per_entry=16, entries_per_pair=entries
+        )
+        meta = sim.timeline.events_in_category(EventCategory.METADATA)
+        assert meta[0].duration == pytest.approx(net.all_to_all_time(16.0 * entries))
+
+    def test_all_zero_matrix_skips_metadata_round(self, sim):
+        sim.comm.compressed_all_to_all(
+            [[b"x"] * 4] * 4, entries_per_pair=np.zeros((4, 4), dtype=np.int64)
+        )
+        assert not sim.timeline.events_in_category(EventCategory.METADATA)
+        assert sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+
+
+class TestPricedCollectives:
+    def test_all_to_all_bytes_matches_data_path(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        priced = ClusterSimulator(4, network=net)
+        moved = ClusterSimulator(4, network=net)
+        matrix = np.full((4, 4), 1000)
+        priced.comm.all_to_all_bytes(matrix, EventCategory.ALLTOALL_BWD)
+        moved.comm.all_to_all([[b"x" * 1000] * 4] * 4, EventCategory.ALLTOALL_BWD)
+        assert priced.makespan() == pytest.approx(moved.makespan())
+
+    def test_all_to_all_bytes_shape_rejected(self, sim):
+        with pytest.raises(ValueError, match="does not match"):
+            sim.comm.all_to_all_bytes(np.zeros((3, 3)))
+
+    def test_all_reduce_bytes_matches_all_reduce(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        priced = ClusterSimulator(4, network=net)
+        moved = ClusterSimulator(4, network=net)
+        arrays = [np.ones(1024, dtype=np.float32) for _ in range(4)]
+        moved.comm.all_reduce(arrays)
+        priced.comm.all_reduce_bytes(arrays[0].nbytes)
+        assert priced.makespan() == pytest.approx(moved.makespan())
+
+    def test_all_reduce_bytes_hierarchical_uses_topology(self):
+        from repro.dist import NetworkModel as NM, Topology
+
+        net = NM.from_topology(Topology.hierarchical(2, 2))
+        ring = ClusterSimulator(4, network=net)
+        hier = ClusterSimulator(4, network=net)
+        ring.comm.all_reduce_bytes(1 << 24, algorithm="ring")
+        hier.comm.all_reduce_bytes(1 << 24, algorithm="hierarchical")
+        assert hier.makespan() < ring.makespan()
+
+    def test_bad_algorithm_rejected(self, sim):
+        with pytest.raises(ValueError, match="algorithm"):
+            sim.comm.all_reduce_bytes(1024, algorithm="tree")
+
+
+class TestMultiPayload:
+    def test_lists_are_sized_and_delivered_whole(self, sim):
+        sendbufs = [
+            [[b"a" * 3, b"b" * 5] for _ in range(4)] for _ in range(4)
+        ]
+        assert payload_nbytes(sendbufs[0][0]) == 8
+        received = sim.comm.all_to_all(sendbufs)
+        assert received[1][2] == [b"a" * 3, b"b" * 5]
+
+    def test_wire_time_counts_the_sum_of_parts(self):
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        batched = ClusterSimulator(4, network=net)
+        single = ClusterSimulator(4, network=net)
+        batched.comm.all_to_all([[[b"x" * 400, b"y" * 600]] * 4] * 4)
+        single.comm.all_to_all([[b"z" * 1000] * 4] * 4)
+        assert batched.makespan() == pytest.approx(single.makespan())

@@ -7,7 +7,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dist import NetworkModel, PAPER_FABRIC
+from repro.dist import (
+    IB_HDR_LIKE,
+    NVLINK_LIKE,
+    PAPER_FABRIC,
+    LinkSpec,
+    NetworkModel,
+    Topology,
+)
 
 
 def uniform_matrix(n: int, nbytes: float) -> np.ndarray:
@@ -130,3 +137,155 @@ class TestPaperFabric:
         """The default fabric is the paper's 4 GB/s all-to-all setting."""
         assert PAPER_FABRIC.bandwidth == pytest.approx(4 * 1024**3)
         assert NetworkModel() == PAPER_FABRIC
+
+
+class TestLinkSpec:
+    def test_presets_are_ordered(self):
+        assert NVLINK_LIKE.bandwidth > IB_HDR_LIKE.bandwidth
+        assert NVLINK_LIKE.latency < IB_HDR_LIKE.latency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0.0, latency=1e-6)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1e9, latency=-1.0)
+
+
+class TestTopology:
+    def test_hierarchical_structure(self):
+        topo = Topology.hierarchical(2, 4)
+        assert topo.n_ranks == 8
+        assert topo.n_nodes == 2
+        assert topo.node_of(0) == 0 and topo.node_of(7) == 1
+        assert topo.is_intra(0, 3) and not topo.is_intra(3, 4)
+        assert topo.bandwidth_matrix[0, 1] == pytest.approx(NVLINK_LIKE.bandwidth)
+        assert topo.bandwidth_matrix[0, 4] == pytest.approx(IB_HDR_LIKE.bandwidth)
+
+    def test_flat_equals_single_fabric_model(self):
+        """A single-link topology prices every collective like the flat
+        alpha-beta model (uniform byte matrices)."""
+        link = LinkSpec(bandwidth=1e9, latency=1e-6)
+        topo = Topology.flat(8, link)
+        model = NetworkModel.from_topology(topo)
+        flat = NetworkModel(bandwidth=1e9, latency=1e-6)
+        matrix = uniform_matrix(8, 12_345.0)
+        assert model.all_to_all_time(matrix) == pytest.approx(flat.all_to_all_time(matrix))
+        assert model.all_reduce_time(1e8, 8) == pytest.approx(flat.all_reduce_time(1e8, 8))
+
+    def test_heterogeneous_all_to_all_larger_than_intra_flat(self):
+        """Acceptance: NVLink+IB topology prices the same byte matrix
+        strictly above a flat model built from the intra-node link."""
+        topo = Topology.hierarchical(2, 4)
+        hetero = NetworkModel.from_topology(topo)
+        intra_flat = NetworkModel(
+            bandwidth=NVLINK_LIKE.bandwidth, latency=NVLINK_LIKE.latency
+        )
+        rng = np.random.default_rng(5)
+        matrix = rng.integers(1 << 16, 1 << 22, size=(8, 8)).astype(np.float64)
+        assert hetero.all_to_all_time(matrix) > intra_flat.all_to_all_time(matrix)
+
+    def test_phased_all_to_all_bottlenecked_by_slowest_phase_pair(self):
+        """Each shift phase lasts as long as its slowest pair."""
+        link = LinkSpec(bandwidth=1e9, latency=0.0)
+        topo = Topology.flat(4, link)
+        matrix = np.zeros((4, 4))
+        matrix[2, 3] = 1e9  # phase 1 carries the only payload
+        # 3 phases at zero latency; only phase 1 moves bytes.
+        assert topo.all_to_all_time(matrix) == pytest.approx(1.0)
+
+    def test_all_to_all_shape_and_sign_validation(self):
+        topo = Topology.hierarchical(2, 2)
+        with pytest.raises(ValueError, match="does not match"):
+            topo.all_to_all_time(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            topo.all_to_all_time(np.full((4, 4), -1.0))
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            Topology(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            Topology(np.zeros((2, 2)), np.zeros((2, 2)))  # zero bandwidth
+        with pytest.raises(ValueError, match="node_ids"):
+            Topology(np.ones((2, 2)), np.zeros((2, 2)), node_ids=np.zeros(3, dtype=int))
+
+    def test_simulator_rejects_mismatched_topology(self):
+        from repro.dist import ClusterSimulator
+
+        net = NetworkModel.from_topology(Topology.hierarchical(2, 4))
+        with pytest.raises(ValueError, match="topology"):
+            ClusterSimulator(4, network=net)
+        assert ClusterSimulator(8, network=net).n_ranks == 8
+
+
+class TestHierarchicalAllReduce:
+    def _uniform_topo(self, n_nodes, gpus, bandwidth=1e9, latency=0.0):
+        link = LinkSpec(bandwidth=bandwidth, latency=latency)
+        return Topology.hierarchical(n_nodes, gpus, intra_link=link, inter_link=link)
+
+    def test_equals_flat_ring_when_intra_equals_inter(self):
+        """On a uniform fabric the rail-parallel hierarchical schedule
+        moves exactly the flat ring's bytes: the bandwidth terms coincide
+        (compare at zero latency, where the formulas are pure bandwidth)."""
+        topo = self._uniform_topo(4, 4)
+        net = NetworkModel.from_topology(topo)
+        nbytes = 1e9
+        assert net.hierarchical_all_reduce_time(nbytes, 16) == pytest.approx(
+            net.all_reduce_time(nbytes, 16), rel=1e-12
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=1e3, max_value=1e12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_below_flat_ring_on_uniform_fabrics(self, n_nodes, gpus, nbytes):
+        """Property: the flat ring is bandwidth-optimal on a uniform
+        fabric, so hierarchical can never beat it there (they tie)."""
+        topo = self._uniform_topo(n_nodes, gpus)
+        hier = topo.hierarchical_all_reduce_time(nbytes)
+        flat = topo.ring_all_reduce_time(nbytes)
+        assert hier >= flat - 1e-9 * max(1.0, flat)
+        assert hier == pytest.approx(flat, rel=1e-9, abs=1e-15)
+
+    def test_beats_flat_ring_on_heterogeneous_fabric(self):
+        """The point of the hierarchy: only 1/g of the volume crosses the
+        slow inter-node link, so it wins when NVLink >> IB."""
+        topo = Topology.hierarchical(4, 4)
+        nbytes = 1e9
+        assert topo.hierarchical_all_reduce_time(nbytes) < topo.ring_all_reduce_time(nbytes)
+
+    def test_single_node_degenerates_to_intra_ring(self):
+        link = LinkSpec(bandwidth=1e9, latency=1e-6)
+        topo = Topology.hierarchical(1, 8, intra_link=link, inter_link=IB_HDR_LIKE)
+        flat = NetworkModel(bandwidth=1e9, latency=1e-6)
+        assert topo.hierarchical_all_reduce_time(1e8) == pytest.approx(
+            flat.all_reduce_time(1e8, 8)
+        )
+
+    def test_one_gpu_per_node_degenerates_to_inter_ring(self):
+        link = LinkSpec(bandwidth=1e9, latency=1e-6)
+        topo = Topology.hierarchical(8, 1, intra_link=NVLINK_LIKE, inter_link=link)
+        flat = NetworkModel(bandwidth=1e9, latency=1e-6)
+        assert topo.hierarchical_all_reduce_time(1e8) == pytest.approx(
+            flat.all_reduce_time(1e8, 8)
+        )
+
+    def test_flat_fallback_without_topology(self):
+        """Without a topology the cluster is one node: hierarchical ==
+        flat ring exactly, latency included."""
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        assert net.hierarchical_all_reduce_time(1e8, 8) == pytest.approx(
+            net.all_reduce_time(1e8, 8)
+        )
+
+    def test_unbalanced_nodes_rejected(self):
+        node_ids = np.array([0, 0, 0, 1])
+        topo = Topology(np.full((4, 4), 1e9), np.zeros((4, 4)), node_ids)
+        with pytest.raises(ValueError, match="balanced"):
+            topo.hierarchical_all_reduce_time(1e6)
+
+    def test_single_rank_free(self):
+        topo = Topology.flat(1, LinkSpec(1e9, 0.0))
+        assert topo.hierarchical_all_reduce_time(1e9) == 0.0
+        assert topo.all_to_all_time(np.array([[5.0]])) == 0.0

@@ -145,3 +145,77 @@ class TestChromeTrace:
     def test_empty_timeline_exports_cleanly(self):
         trace = Timeline().to_chrome_trace()
         assert [e["ph"] for e in trace["traceEvents"]] == ["M"]
+
+
+class TestStreamLanes:
+    def _overlapped_ledger(self) -> Timeline:
+        from repro.dist import COMM_STREAM, COMPUTE_STREAM
+
+        tl = Timeline()
+        # Rank 0 compresses while its comm stream is on the wire; rank 1
+        # only computes.
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0, stream=COMPUTE_STREAM)
+        tl.record(0, EventCategory.ALLTOALL_FWD, 0.25, 1.0, stream=COMM_STREAM)
+        tl.record(1, EventCategory.COMPRESS, 0.0, 0.5, stream=COMPUTE_STREAM)
+        return tl
+
+    def test_event_stream_defaults_to_compute(self):
+        tl = Timeline()
+        event = tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        assert event.stream == "compute"
+        assert tl.streams() == ["compute"]
+
+    def test_streams_listed_compute_first(self):
+        tl = self._overlapped_ledger()
+        assert tl.streams() == ["compute", "comm"]
+
+    def test_overlapped_streams_get_distinct_tid_lanes(self):
+        """The satellite fix: concurrent per-rank streams must not share a
+        tid, or the trace renders them stacked in one lane."""
+        trace = self._overlapped_ledger().to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        rank0_tids = {e["tid"] for e in xs if e["name"] == "compress" and e["ts"] == 0.0}
+        wire = next(e for e in xs if e["name"] == "alltoall_fwd")
+        compress0 = next(e for e in xs if e["name"] == "compress" and e["dur"] == 1.0e6)
+        assert wire["tid"] != compress0["tid"]
+        # All tids are distinct per (rank, stream) and deterministic.
+        assert len({e["tid"] for e in xs}) == 3
+
+    def test_lane_metadata_names_rank_and_stream(self):
+        trace = self._overlapped_ledger().to_chrome_trace()
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "rank 0 [compute]" in thread_names.values()
+        assert "rank 0 [comm]" in thread_names.values()
+        # One lane per (rank, stream) actually present.
+        assert len(thread_names) == 3
+
+    def test_single_stream_keeps_legacy_rank_tids(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(3, EventCategory.COMPRESS, 0.0, 1.0)
+        trace = tl.to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in xs} == {0, 3}
+
+    def test_simulator_overlap_run_round_trips_to_json(self, tmp_path):
+        import json
+
+        from repro.dist import ClusterSimulator
+
+        sim = ClusterSimulator(2)
+        sim.comm.compressed_all_to_all(
+            [[b"x" * 1000] * 2] * 2,
+            overlap=True,
+            compress_seconds=[1e-4, 2e-4],
+            decompress_seconds=[1e-4, 1e-4],
+            chunks_per_rank=[4, 4],
+        )
+        path = sim.timeline.dump_chrome_trace(tmp_path / "overlap.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == sim.timeline.to_chrome_trace()
+        xs = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert len({e["tid"] for e in xs}) == 4  # 2 ranks x 2 streams

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dist.timeline import EventCategory, Timeline
-from repro.profiling import breakdown_report, breakdown_rows, compare_runs
+from repro.dist.timeline import COMM_STREAM, EventCategory, Timeline
+from repro.profiling import (
+    breakdown_report,
+    breakdown_rows,
+    compare_runs,
+    overlap_efficiency,
+    overlap_report,
+)
 
 
 class TestBreakdownRows:
@@ -66,3 +72,40 @@ class TestCompareRuns:
         run = {EventCategory.ALLTOALL_FWD: 2.0}
         summary = compare_runs(run, run)
         assert summary.end_to_end == 1.0
+
+
+class TestOverlapReport:
+    def test_sequential_run_has_zero_overlap(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(0, EventCategory.ALLTOALL_FWD, 1.0, 2.0, stream=COMM_STREAM)
+        report = overlap_report(tl)
+        assert report[0]["overlapped"] == pytest.approx(0.0)
+        assert report[0]["comm"] == pytest.approx(2.0)
+        assert overlap_efficiency(tl) == 0.0
+
+    def test_double_booked_time_counts_as_overlap(self):
+        tl = Timeline()
+        # 1 s of compression fully inside a 2 s wire window.
+        tl.record(0, EventCategory.COMPRESS, 0.5, 1.0)
+        tl.record(0, EventCategory.ALLTOALL_FWD, 0.0, 2.0, stream=COMM_STREAM)
+        report = overlap_report(tl)
+        assert report[0]["charged"] == pytest.approx(3.0)
+        assert report[0]["busy"] == pytest.approx(2.0)
+        assert report[0]["overlapped"] == pytest.approx(1.0)
+        assert report[0]["efficiency"] == pytest.approx(0.5)
+        assert overlap_efficiency(tl) == pytest.approx(0.5)
+
+    def test_no_comm_means_zero_efficiency(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        assert overlap_efficiency(tl) == 0.0
+
+    def test_per_rank_isolation(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        tl.record(1, EventCategory.ALLTOALL_FWD, 0.0, 1.0, stream=COMM_STREAM)
+        report = overlap_report(tl)
+        # Concurrency across ranks is parallelism, not stream overlap.
+        assert report[0]["overlapped"] == 0.0
+        assert report[1]["overlapped"] == 0.0

@@ -87,6 +87,147 @@ class TestPipelinedExchange:
         assert max(sum(wire), compress_total) - 1e-12 <= overlapped <= sequential + 1e-12
 
 
+def _tiny_workflow(n_ranks=8, max_cardinality=600):
+    from repro.data import CRITEO_KAGGLE, SyntheticClickDataset, scaled_spec
+    from repro.model import DLRM, DLRMConfig
+
+    spec = scaled_spec(CRITEO_KAGGLE, max_cardinality=max_cardinality)
+    dataset = SyntheticClickDataset(spec, seed=31, teacher_scale=3.0)
+    config = DLRMConfig.from_dataset(
+        spec, embedding_dim=8, bottom_hidden=(16,), top_hidden=(16,), seed=32
+    )
+    probe = DLRM(config)
+    batch = dataset.batch(128, batch_index=888)
+    samples = {j: probe.lookup(j, batch.sparse[:, j]) for j in range(spec.n_tables)}
+    from repro.adaptive import OfflineAnalyzer
+
+    plan = OfflineAnalyzer().analyze(samples)
+    return dataset, config, plan
+
+
+def _train_makespan(dataset, config, plan, *, overlap, n_ranks=8, network=None, **kw):
+    from repro.dist import ClusterSimulator
+    from repro.model import DLRM
+    from repro.train import HybridParallelTrainer
+
+    sim = ClusterSimulator(n_ranks, network=network)
+    pipeline = CompressionPipeline(AdaptiveController(plan))
+    trainer = HybridParallelTrainer(
+        DLRM(config), dataset, sim, pipeline=pipeline, lr=0.2, overlap=overlap, **kw
+    )
+    trainer.train(2, 32 * n_ranks)
+    return sim
+
+
+class TestTrainerThroughCommunicator:
+    """The tentpole's acceptance criteria on the trainer refactor."""
+
+    def test_no_direct_collective_charging(self):
+        """`HybridParallelTrainer` must route every exchange through the
+        Communicator — zero direct ``simulator.collective`` calls."""
+        import inspect
+
+        from repro.train import hybrid
+
+        source = inspect.getsource(hybrid.HybridParallelTrainer)
+        assert "simulator.collective" not in source
+
+    def test_overlap_on_beats_overlap_off_8_ranks(self):
+        """Acceptance: overlap-on end-to-end makespan strictly below
+        overlap-off on the paper's 8-rank configuration."""
+        dataset, config, plan = _tiny_workflow()
+        sequential = _train_makespan(dataset, config, plan, overlap=False)
+        overlapped = _train_makespan(dataset, config, plan, overlap=True)
+        assert overlapped.makespan() < sequential.makespan()
+
+    def test_overlap_never_worse_with_backward_compression(self):
+        dataset, config, plan = _tiny_workflow()
+        makespans = {}
+        for overlap in (False, True):
+            from repro.dist import ClusterSimulator
+            from repro.model import DLRM
+            from repro.train import HybridParallelTrainer
+
+            sim = ClusterSimulator(4)
+            pipeline = CompressionPipeline(AdaptiveController(plan), compress_backward=True)
+            HybridParallelTrainer(
+                DLRM(config), dataset, sim, pipeline=pipeline, lr=0.2, overlap=overlap
+            ).train(2, 64)
+            makespans[overlap] = sim.makespan()
+        assert makespans[True] <= makespans[False] + 1e-12
+
+    def test_overlap_does_not_change_numerics(self):
+        """Overlap changes *when* things are charged, never *what* the
+        receivers decode: losses are bit-identical."""
+        from repro.dist import ClusterSimulator
+        from repro.model import DLRM
+        from repro.train import HybridParallelTrainer
+
+        dataset, config, plan = _tiny_workflow()
+        losses = {}
+        for overlap in (False, True):
+            sim = ClusterSimulator(4)
+            pipeline = CompressionPipeline(AdaptiveController(plan))
+            trainer = HybridParallelTrainer(
+                DLRM(config), dataset, sim, pipeline=pipeline, lr=0.2, overlap=overlap
+            )
+            losses[overlap] = [trainer.train_step(64, it) for it in range(2)]
+        assert losses[False] == losses[True]
+
+    def test_uncompressed_exchange_stays_exact(self):
+        """Routing the raw exchange through the Communicator hands
+        receivers bit-identical lookup rows."""
+        from repro.dist import ClusterSimulator
+        from repro.model import DLRM
+        from repro.train import HybridParallelTrainer, ReferenceTrainer
+
+        dataset, config, _ = _tiny_workflow()
+        sim = ClusterSimulator(4)
+        hybrid_trainer = HybridParallelTrainer(DLRM(config), dataset, sim, lr=0.2)
+        reference = ReferenceTrainer(DLRM(config), dataset, lr=0.2)
+        for iteration in range(2):
+            hybrid_loss = hybrid_trainer.train_step(64, iteration)
+            reference_loss = reference.train_step(64, iteration)
+            assert hybrid_loss == pytest.approx(reference_loss, rel=1e-12)
+
+    def test_overlap_efficiency_reported(self):
+        from repro.profiling import overlap_efficiency
+
+        dataset, config, plan = _tiny_workflow()
+        sequential = _train_makespan(dataset, config, plan, overlap=False, n_ranks=4)
+        overlapped = _train_makespan(dataset, config, plan, overlap=True, n_ranks=4)
+        assert overlap_efficiency(sequential.timeline) == 0.0
+        assert overlap_efficiency(overlapped.timeline) > 0.0
+
+    def test_hierarchical_allreduce_routed(self):
+        from repro.dist import NetworkModel, Topology
+
+        dataset, config, plan = _tiny_workflow()
+        network = NetworkModel.from_topology(Topology.hierarchical(2, 4))
+        ring = _train_makespan(
+            dataset, config, plan, overlap=False, network=network,
+            allreduce_algorithm="ring",
+        )
+        hier = _train_makespan(
+            dataset, config, plan, overlap=False, network=network,
+            allreduce_algorithm="hierarchical",
+        )
+        ring_ar = ring.timeline.total_by_category(rank=0)["allreduce"]
+        hier_ar = hier.timeline.total_by_category(rank=0)["allreduce"]
+        assert hier_ar < ring_ar
+
+    def test_bad_allreduce_algorithm_rejected(self):
+        from repro.dist import ClusterSimulator
+        from repro.model import DLRM
+        from repro.train import HybridParallelTrainer
+
+        dataset, config, _ = _tiny_workflow()
+        with pytest.raises(ValueError):
+            HybridParallelTrainer(
+                DLRM(config), dataset, ClusterSimulator(4), allreduce_algorithm="tree"
+            )
+
+
 class TestRelativeBound:
     def test_scales_with_range(self):
         data = np.array([0.0, 2.0], dtype=np.float32)
