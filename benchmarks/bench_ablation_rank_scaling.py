@@ -9,12 +9,29 @@ Shape targets: end-to-end speedup > 1 at every rank count; the
 uncompressed per-iteration time falls with more ranks (strong scaling of
 the bandwidth-bound exchange), and compression does not break that
 scaling.
+
+The **multi-node sweep** extends the Fig.-14 rank-scaling story to
+heterogeneous topologies: 2x8 / 4x8 / 8x8 clusters with NVLink-class
+intra-node links and an inter-node fabric axis (HDR-IB, PCIe-class, and
+4:1-oversubscribed IB), trained with the compressed cross-stage-overlap
+pipeline against the uncompressed baseline.  Setting
+``REPRO_MULTINODE_SMOKE=1`` restricts the sweep to the smallest (2x8)
+scenario for CI's perf-smoke job.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.adaptive import AdaptiveController, OfflineAnalyzer
-from repro.dist import ClusterSimulator
+from repro.dist import (
+    IB_HDR_LIKE,
+    NVLINK_LIKE,
+    PCIE_LIKE,
+    ClusterSimulator,
+    NetworkModel,
+    Topology,
+)
 from repro.model import DLRM
 from repro.train import CompressionPipeline, HybridParallelTrainer
 from repro.utils import format_table
@@ -26,6 +43,20 @@ RANK_COUNTS = (8, 16, 32)
 #: the regime the paper's production batches run in
 GLOBAL_BATCH = 4096
 ITERATIONS = 3
+
+#: (label, n_nodes, gpus_per_node) — the multi-node scenario axis
+MULTINODE_SCENARIOS = (("2x8", 2, 8), ("4x8", 4, 8), ("8x8", 8, 8))
+#: inter-node fabric classes swept per scenario
+INTER_FABRICS = (
+    ("ib-hdr", IB_HDR_LIKE),
+    ("pcie", PCIE_LIKE),
+    ("ib-oversub-4x", IB_HDR_LIKE.oversubscribed(4.0)),
+)
+#: weak scaling: fixed per-rank sub-batch (production DLRM grows the
+#: global batch with the cluster), keeping messages bandwidth-bound at
+#: every scale — global batch = 256 * n_ranks
+MULTINODE_LOCAL_BATCH = 256
+MULTINODE_ITERATIONS = 2
 
 
 def test_ablation_rank_scaling(kaggle_world, benchmark):
@@ -76,3 +107,80 @@ def test_ablation_rank_scaling(kaggle_world, benchmark):
         DLRM(kaggle_world.config), kaggle_world.dataset, simulator, lr=0.2
     )
     benchmark.pedantic(lambda: trainer.train_step(GLOBAL_BATCH, 0), rounds=3, iterations=1)
+
+
+def _multinode_run(world, plan, n_nodes, gpus, inter, *, compressed):
+    network = NetworkModel.from_topology(
+        Topology.hierarchical(n_nodes, gpus, NVLINK_LIKE, inter)
+    )
+    simulator = ClusterSimulator(n_nodes * gpus, network=network)
+    trainer = HybridParallelTrainer(
+        DLRM(world.config),
+        world.dataset,
+        simulator,
+        pipeline=CompressionPipeline(AdaptiveController(plan)) if compressed else None,
+        lr=0.2,
+        overlap="cross_stage" if compressed else False,
+        allreduce_algorithm="hierarchical",
+    )
+    return trainer.train(MULTINODE_ITERATIONS, MULTINODE_LOCAL_BATCH * n_nodes * gpus)
+
+
+def test_ablation_multinode_scaling(kaggle_world, benchmark):
+    plan = OfflineAnalyzer().analyze(kaggle_world.samples)
+    smoke = bool(os.environ.get("REPRO_MULTINODE_SMOKE"))
+    scenarios = MULTINODE_SCENARIOS[:1] if smoke else MULTINODE_SCENARIOS
+
+    rows = []
+    speedups: dict[tuple[str, str], float] = {}
+    base_iters: dict[tuple[str, str], float] = {}
+    for label, n_nodes, gpus in scenarios:
+        for fabric_label, inter in INTER_FABRICS:
+            base = _multinode_run(
+                kaggle_world, plan, n_nodes, gpus, inter, compressed=False
+            )
+            comp = _multinode_run(
+                kaggle_world, plan, n_nodes, gpus, inter, compressed=True
+            )
+            key = (label, fabric_label)
+            speedups[key] = base.iteration_seconds / comp.iteration_seconds
+            base_iters[key] = base.iteration_seconds
+            rows.append(
+                (
+                    label,
+                    f"nvlink + {fabric_label}",
+                    f"{base.iteration_seconds * 1e3:.3f} ms",
+                    f"{comp.iteration_seconds * 1e3:.3f} ms",
+                    f"{speedups[key]:.2f}x",
+                    f"{comp.forward_compression_ratio:.1f}x",
+                )
+            )
+    text = format_table(
+        ["cluster", "fabric", "baseline iter", "compressed+cross-stage iter", "speedup", "fwd CR"],
+        rows,
+        title=(
+            "Ablation - multi-node weak scaling on heterogeneous fabrics "
+            f"(batch {MULTINODE_LOCAL_BATCH}/rank"
+            + (", smoke: 2x8 only)" if smoke else ")")
+        ),
+    )
+    write_result("ablation_multinode_scaling", text)
+
+    # The compressed cross-stage pipeline wins on every scenario/fabric.
+    for key, speedup in speedups.items():
+        assert speedup > 1.0, f"{key}: {speedup:.2f}"
+    for label, _, _ in scenarios:
+        # A 4:1-oversubscribed inter fabric is never faster than full-rate
+        # IB for the uncompressed baseline...
+        assert base_iters[(label, "ib-oversub-4x")] >= base_iters[(label, "ib-hdr")]
+        # ...and the thinner the wire, the more compression pays.
+        assert speedups[(label, "ib-oversub-4x")] >= speedups[(label, "ib-hdr")]
+
+    bench_inter = INTER_FABRICS[0][1]
+    benchmark.pedantic(
+        lambda: _multinode_run(
+            kaggle_world, plan, 2, 8, bench_inter, compressed=True
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -155,6 +155,22 @@ class ClusterRuns:
         )
         self.overlapped = trainer2.train(self.ITERATIONS, self.GLOBAL_BATCH)
 
+        # Cross-stage overlap: the backward exchange issued before the
+        # bottom-MLP backward kernels — the Fig.-12 cross-stage rows.
+        sim3 = ClusterSimulator(self.N_RANKS)
+        controller3 = AdaptiveController(
+            self.plan, StepwiseDecay(2.0, phase_iterations=self.ITERATIONS // 2)
+        )
+        trainer3 = HybridParallelTrainer(
+            DLRM(self.config),
+            self.dataset,
+            sim3,
+            pipeline=CompressionPipeline(controller3),
+            lr=0.2,
+            overlap="cross_stage",
+        )
+        self.cross_stage = trainer3.train(self.ITERATIONS, self.GLOBAL_BATCH)
+
 
 @pytest.fixture(scope="session")
 def cluster_runs() -> ClusterRuns:

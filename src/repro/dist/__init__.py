@@ -17,6 +17,7 @@ from repro.dist.network import (
     IB_HDR_LIKE,
     NVLINK_LIKE,
     PAPER_FABRIC,
+    PCIE_LIKE,
     LinkSpec,
     NetworkModel,
     Topology,
@@ -37,6 +38,7 @@ __all__ = [
     "IB_HDR_LIKE",
     "NVLINK_LIKE",
     "PAPER_FABRIC",
+    "PCIE_LIKE",
     "ClusterSimulator",
     "Communicator",
     "EventCategory",

@@ -17,16 +17,29 @@ batch back intact and can hand it to
 :meth:`repro.train.pipeline.CompressionPipeline.decompress_batch` so the
 peek-table/codebook caches amortize across the whole exchange.
 
-With ``overlap=True`` the stage-① compression (charged on each rank's
-``compute`` stream) overlaps the metadata+payload wire time (on the
-``comm`` stream), and stage-④ decompression starts as soon as the first
-chunk arrives — the two-stage pipeline of the paper's future-work NCCL
-integration, priced end to end.  The overlapped makespan never exceeds
-the sequential one (chunk granularity bounds how much can hide).
+With ``overlap=True`` the exchange runs as a *chunk-level pipeline*: each
+rank's stage-① compression is split into ``chunks_per_rank`` real chunk
+kernels on its ``compute`` stream, and each chunk becomes its own wire
+event on the ``comm`` stream — chunk ``i``'s wire starts only after its
+compress finishes *and* the previous chunk's wire slot frees, and stage-④
+decode of chunk ``i`` starts at its arrival (when the slowest sender's
+matching chunk has cleared the wire).  This is the paper's future-work
+NCCL integration priced end to end, with honest per-chunk stall
+accounting instead of an analytic first/last-chunk correction.  The
+pipelined makespan never exceeds the sequential layout, is monotone
+non-increasing in the chunk count down to the ``max(compute, wire)``
+floor, and degenerates to the single-collective model at one chunk — the
+chunk-pipeline property tests pin all three laws.
+
+``overlap_compute_seconds`` slots rank-local compute (e.g. the trainer's
+bottom-MLP backward kernels) between the compress and decode stages on
+the ``compute`` stream, so an exchange issued *before* that compute
+overlaps it cross-stage on the wire.
 """
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -58,6 +71,7 @@ class Communicator:
 
     def __init__(self, simulator: "ClusterSimulator"):
         self.simulator = simulator
+        self._exchange_counter = 0
 
     @property
     def n_ranks(self) -> int:
@@ -104,21 +118,46 @@ class Communicator:
         self,
         byte_matrix: np.ndarray,
         category: str = EventCategory.ALLTOALL_FWD,
+        *,
+        overlap_compute_seconds: Sequence[float] | None = None,
+        overlap_compute_category: str = EventCategory.BOTTOM_MLP_BWD,
     ) -> float:
         """Charge the wire time of a variable-size all-to-all *without*
         moving data — for exchanges whose numerics the caller shortcuts
         (e.g. the trainer's uncompressed gradient all-to-all, where every
-        rank's contribution is already computed in process).  Returns the
-        common end time."""
+        rank's contribution is already computed in process).
+
+        With ``overlap_compute_seconds`` the exchange overlaps cross-stage:
+        the wire is charged on every rank's ``comm`` stream (released at
+        the usual all-ranks barrier, identical spans) while the given
+        rank-local compute runs concurrently on each ``compute`` stream —
+        the trainer's issue-the-exchange-then-launch-kernels discipline.
+        Returns the wire's common end time either way."""
         matrix = np.asarray(byte_matrix)
         n = self.n_ranks
         if matrix.shape != (n, n):
             raise ValueError(
                 f"byte matrix shape {matrix.shape} does not match {n} ranks"
             )
-        return self.simulator.collective(
-            self.simulator.network.all_to_all_time(matrix), category
+        seconds = self.simulator.network.all_to_all_time(matrix)
+        if overlap_compute_seconds is None:
+            return self.simulator.collective(seconds, category)
+        overlap_compute = self._per_rank_seconds(
+            overlap_compute_seconds, "overlap_compute_seconds"
         )
+        sim = self.simulator
+        release = sim.makespan()  # every rank's send data must exist
+        end = release + seconds
+        for rank in range(n):
+            sim.stream_compute(
+                rank, seconds, category, COMM_STREAM, not_before=release
+            )
+            if overlap_compute[rank] > 0.0:
+                sim.stream_compute(
+                    rank, overlap_compute[rank], overlap_compute_category, COMPUTE_STREAM
+                )
+            sim.sync(rank)
+        return end
 
     def _metadata_seconds(
         self, metadata_bytes_per_entry: int, entries_per_pair
@@ -166,9 +205,11 @@ class Communicator:
         overlap: bool = False,
         compress_seconds: Sequence[float] | None = None,
         decompress_seconds: Sequence[float] | None = None,
-        chunks_per_rank: Sequence[int] | None = None,
+        chunks_per_rank: int | Sequence[int] | None = None,
         compress_category: str = EventCategory.COMPRESS,
         decompress_category: str = EventCategory.DECOMPRESS,
+        overlap_compute_seconds: Sequence[float] | None = None,
+        overlap_compute_category: str = EventCategory.BOTTOM_MLP_BWD,
     ) -> list[list[object]]:
         """Stages ①-④: compression, metadata round, payloads, decompression.
 
@@ -187,13 +228,21 @@ class Communicator:
         * ``overlap=False`` — strictly sequential: every rank compresses,
           the cluster exchanges metadata then payloads, every rank
           decompresses.
-        * ``overlap=True`` — two-stage pipeline: per-rank compression is
-          split into ``chunks_per_rank`` chunks; the wire starts after the
-          *first* chunk is ready (but cannot finish before the last chunk
-          plus its wire share), and decompression starts when the first
-          chunk lands.  Compression/decompression run on each rank's
-          ``compute`` stream, the wire on the ``comm`` stream, so the
-          timeline shows the overlap on separate chrome-trace lanes.
+        * ``overlap=True`` — chunk-level pipeline: per-rank stage ① is
+          split into ``chunks_per_rank`` (scalar or per-rank) real chunk
+          kernels, and each chunk gets its own wire event on the rank's
+          ``comm`` stream.  Chunk ``i``'s wire starts once its compress
+          finished and the previous chunk's wire slot freed; decode of
+          chunk ``i`` starts at its arrival.  Compression/decompression
+          run on each rank's ``compute`` stream, the wire on the ``comm``
+          stream, so the chrome trace renders the chunk pipeline on
+          separate lanes, every chunk event tagged with
+          ``{"exchange", "chunk", "chunks"}`` args.
+
+        ``overlap_compute_seconds`` (overlap mode only) charges rank-local
+        compute between the compress and decode stages on each ``compute``
+        stream — the cross-stage overlap hook: an exchange issued before
+        e.g. the bottom-MLP backward kernels hides its wire behind them.
         """
         self._check_square(sendbufs)
         sim = self.simulator
@@ -205,6 +254,11 @@ class Communicator:
         compress = self._per_rank_seconds(compress_seconds, "compress_seconds")
         decompress = self._per_rank_seconds(decompress_seconds, "decompress_seconds")
         chunks = self._per_rank_chunks(chunks_per_rank)
+        overlap_compute = (
+            None
+            if overlap_compute_seconds is None
+            else self._per_rank_seconds(overlap_compute_seconds, "overlap_compute_seconds")
+        )
 
         if not overlap:
             for rank in range(n):
@@ -216,6 +270,8 @@ class Communicator:
             for rank in range(n):
                 if decompress[rank] > 0.0:
                     sim.compute(rank, decompress[rank], decompress_category)
+                if overlap_compute is not None and overlap_compute[rank] > 0.0:
+                    sim.compute(rank, overlap_compute[rank], overlap_compute_category)
         else:
             self._overlapped_exchange(
                 meta_seconds,
@@ -227,6 +283,8 @@ class Communicator:
                 category=category,
                 compress_category=compress_category,
                 decompress_category=decompress_category,
+                overlap_compute=overlap_compute,
+                overlap_compute_category=overlap_compute_category,
             )
         return [[sendbufs[src][dst] for src in range(n)] for dst in range(n)]
 
@@ -243,6 +301,8 @@ class Communicator:
     def _per_rank_chunks(self, chunks_per_rank) -> list[int]:
         if chunks_per_rank is None:
             return [self.n_ranks] * self.n_ranks  # one chunk per destination
+        if np.isscalar(chunks_per_rank):
+            chunks_per_rank = [chunks_per_rank] * self.n_ranks
         chunks = [int(c) for c in chunks_per_rank]
         if len(chunks) != self.n_ranks:
             raise ValueError(
@@ -264,67 +324,123 @@ class Communicator:
         category: str,
         compress_category: str,
         decompress_category: str,
+        overlap_compute: list[float] | None = None,
+        overlap_compute_category: str = EventCategory.BOTTOM_MLP_BWD,
     ) -> None:
-        """Charge the pipelined exchange.  Invariant (the overlap property
-        tests pin it): the resulting makespan never exceeds the sequential
-        layout's ``barrier + meta + payload + max(decompress)``."""
+        """Charge the chunk-level pipelined exchange.
+
+        Per rank ``r`` with ``k = chunks[r]``: stage ① runs as ``k`` equal
+        chunk kernels on the ``compute`` stream; stage ③ runs as ``k``
+        chunk wire events on the ``comm`` stream, chunk ``j`` released
+        when its compress finished (the stream clock serializes the wire
+        slots); stage ④ decodes chunk ``j`` once the slowest sender's
+        matching chunk has cleared the wire.  The metadata round goes out
+        once every rank's first chunk exists (the first sizes are known).
+
+        Invariants the chunk-pipeline property tests pin: the makespan
+        never exceeds the sequential layout's ``max(compress) + meta +
+        payload + max(decompress)``, is monotone non-increasing in the
+        chunk count, and equals the sequential layout at one chunk.
+        """
         sim = self.simulator
         n = self.n_ranks
+        eid = self._exchange_counter
+        self._exchange_counter += 1
         starts = [sim.sync(rank) for rank in range(n)]
-        comp_ends = list(starts)
+
+        # Stage ①: k real compression chunk kernels per rank.
+        comp_ends: list[list[float]] = []
         for rank in range(n):
+            k = chunks[rank]
             if compress[rank] > 0.0:
-                comp_ends[rank] = sim.stream_compute(
-                    rank, compress[rank], compress_category, COMPUTE_STREAM
-                )
-        # The wire may start once every rank's FIRST chunk is compressed...
-        first_ready = max(
-            starts[rank] + compress[rank] / chunks[rank] for rank in range(n)
-        )
-        # ...but cannot finish before every rank's LAST chunk plus that
-        # rank's own per-chunk wire share (a coarse-chunked straggler
-        # holds the exchange open longer than a finely-chunked one).
-        meta_start = first_ready
-        payload_start = meta_start + meta_seconds
-        payload_end = max(
-            payload_start + payload_seconds,
-            max(
-                comp_ends[rank] + payload_seconds / chunks[rank] for rank in range(n)
-            ),
-        )
-        chunk_wire = payload_seconds / max(chunks)
-        for rank in range(n):
-            if not skip_metadata:
-                sim.stream_compute(
+                per_chunk = compress[rank] / k
+                ends = [
+                    sim.stream_compute(
+                        rank,
+                        per_chunk,
+                        compress_category,
+                        COMPUTE_STREAM,
+                        args={"exchange": eid, "chunk": j, "chunks": k},
+                    )
+                    for j in range(k)
+                ]
+            else:
+                ends = [starts[rank]] * k
+            comp_ends.append(ends)
+
+        # Stage ②: the size table goes out once every rank's first chunk
+        # is compressed (identical spans on every comm stream).
+        meta_release = max(comp_ends[rank][0] for rank in range(n))
+        meta_end = meta_release
+        if not skip_metadata:
+            for rank in range(n):
+                meta_end = sim.stream_compute(
                     rank,
                     meta_seconds,
                     EventCategory.METADATA,
                     COMM_STREAM,
-                    not_before=meta_start,
+                    not_before=meta_release,
+                    args={"exchange": eid},
                 )
-            sim.stream_compute(
-                rank,
-                payload_end - payload_start,
-                category,
-                COMM_STREAM,
-                not_before=payload_start,
-            )
-        # Stage ④ may begin when the first chunk lands, and the final
-        # chunk's decode trails the wire by one chunk's decode time.
-        first_arrival = min(payload_start + chunk_wire, payload_end)
+
+        # Stage ③: per-rank injection-port pipeline — chunk j's wire
+        # starts once its compress finished and the previous chunk's wire
+        # slot freed (the comm stream clock enforces the latter).
+        wire_ends: list[list[float]] = []
         for rank in range(n):
-            if decompress[rank] > 0.0:
-                release = max(
-                    first_arrival,
-                    payload_end - decompress[rank] * (1.0 - 1.0 / chunks[rank]),
-                )
+            k = chunks[rank]
+            per_wire = payload_seconds / k
+            ends = [
                 sim.stream_compute(
                     rank,
-                    decompress[rank],
-                    decompress_category,
-                    COMPUTE_STREAM,
-                    not_before=release,
+                    per_wire,
+                    category,
+                    COMM_STREAM,
+                    not_before=max(meta_end, comp_ends[rank][j]),
+                    args={"exchange": eid, "chunk": j, "chunks": k},
                 )
+                for j in range(k)
+            ]
+            wire_ends.append(ends)
+
+        # Cross-stage hook: rank-local compute issued right after the
+        # compression kernels, so the wire (and decode stalls) hide it.
+        if overlap_compute is not None:
+            for rank in range(n):
+                if overlap_compute[rank] > 0.0:
+                    sim.stream_compute(
+                        rank,
+                        overlap_compute[rank],
+                        overlap_compute_category,
+                        COMPUTE_STREAM,
+                    )
+
+        # Stage ④: decode of chunk j starts at its arrival — when the
+        # slowest sender's fraction-matched chunk has cleared the wire.
+        for rank in range(n):
+            k = chunks[rank]
+            if decompress[rank] > 0.0:
+                per_chunk = decompress[rank] / k
+                for j in range(k):
+                    arrival = max(
+                        wire_ends[src][
+                            min(
+                                math.ceil((j + 1) * chunks[src] / k) - 1,
+                                chunks[src] - 1,
+                            )
+                        ]
+                        for src in range(n)
+                    )
+                    sim.stream_compute(
+                        rank,
+                        per_chunk,
+                        decompress_category,
+                        COMPUTE_STREAM,
+                        not_before=arrival,
+                        args={"exchange": eid, "chunk": j, "chunks": k},
+                    )
+        # The exchange hands decoded data back at a device-wide barrier.
+        for rank in range(n):
             sim.sync(rank)
 
     # --------------------------------------------------------- all-reduce

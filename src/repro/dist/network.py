@@ -43,6 +43,7 @@ __all__ = [
     "PAPER_FABRIC",
     "NVLINK_LIKE",
     "IB_HDR_LIKE",
+    "PCIE_LIKE",
 ]
 
 
@@ -58,6 +59,17 @@ class LinkSpec:
         check_positive("bandwidth", self.bandwidth)
         check_positive("latency", self.latency, strict=False)
 
+    def oversubscribed(self, factor: float) -> "LinkSpec":
+        """The same link class behind a ``factor``:1 oversubscribed switch
+        tier: effective per-pair bandwidth divides by ``factor`` (latency
+        unchanged) — the standard fat-tree taper of large training pods."""
+        check_positive("factor", factor)
+        return LinkSpec(
+            bandwidth=self.bandwidth / factor,
+            latency=self.latency,
+            name=f"{self.name}/{factor:g}x",
+        )
+
 
 #: NVLink/NVSwitch-class intra-node link (A100 HGX: ~300 GB/s aggregate,
 #: ~150 GB/s effective per direction, sub-microsecond hops).
@@ -66,6 +78,11 @@ NVLINK_LIKE = LinkSpec(bandwidth=150.0 * GB, latency=2e-7, name="nvlink")
 #: HDR-InfiniBand-class inter-node link (200 Gb/s -> ~12.5 GB/s effective
 #: per port after protocol overheads, microsecond-scale hops).
 IB_HDR_LIKE = LinkSpec(bandwidth=12.5 * GB, latency=1.5e-6, name="ib-hdr")
+
+#: PCIe-Gen3-x16-class host-mediated link (~16 GB/s raw -> ~8 GB/s
+#: effective once staged through host memory without GPUDirect): the
+#: inter-node class of commodity clouds and NVSwitch-less boxes.
+PCIE_LIKE = LinkSpec(bandwidth=8.0 * GB, latency=1.2e-6, name="pcie")
 
 
 class Topology:

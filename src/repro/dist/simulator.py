@@ -133,13 +133,16 @@ class ClusterSimulator:
         stream: str = COMPUTE_STREAM,
         *,
         not_before: float | None = None,
+        args: dict | None = None,
     ) -> float:
         """Charge work to one named stream of one rank.
 
         The event starts at the stream's clock, delayed to ``not_before``
         if given (the release time of the event's inputs); only that
         stream's clock advances, so events on the rank's other streams may
-        run concurrently.  Returns the event's end time.
+        run concurrently.  ``args`` attaches structured labels to the
+        logged event (e.g. chunk indices of a pipelined exchange).
+        Returns the event's end time.
         """
         self._check_rank(rank)
         seconds = self._check_seconds(seconds)
@@ -147,7 +150,7 @@ class ClusterSimulator:
         start = clocks[rank]
         if not_before is not None:
             start = max(start, self._check_seconds(not_before))
-        self.timeline.record(rank, category, start, seconds, stream=stream)
+        self.timeline.record(rank, category, start, seconds, stream=stream, args=args)
         clocks[rank] = start + seconds
         return clocks[rank]
 

@@ -5,6 +5,7 @@ from repro.profiling.breakdown import (
     SpeedupSummary,
     breakdown_report,
     breakdown_rows,
+    chunk_pipeline_report,
     compare_runs,
     overlap_efficiency,
     overlap_report,
@@ -42,6 +43,7 @@ __all__ = [
     "compare_runs",
     "overlap_report",
     "overlap_efficiency",
+    "chunk_pipeline_report",
     "PAPER_SHAPES",
     "PerfRecord",
     "make_lookup_batch",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dist.timeline import EventCategory, Timeline
+from repro.dist.timeline import COMM_STREAM, COMPUTE_STREAM, EventCategory, Timeline
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "compare_runs",
     "overlap_report",
     "overlap_efficiency",
+    "chunk_pipeline_report",
 ]
 
 CATEGORY_LABELS: dict[str, str] = {
@@ -127,6 +128,82 @@ def overlap_report(timeline: Timeline) -> dict[int, dict[str, float]]:
             "overlapped": overlapped,
             "comm": comm,
             "efficiency": min(1.0, overlapped / comm) if comm > 0 else 0.0,
+        }
+    return report
+
+
+def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Sorted, disjoint union of ``(start, end)`` intervals."""
+    merged: list[tuple[float, float]] = []
+    for s, e in sorted(intervals):
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+def _overlap_with_merged(span: tuple[float, float], merged: list[tuple[float, float]]) -> float:
+    """Length of ``span``'s intersection with pre-merged disjoint intervals."""
+    start, end = span
+    return sum(
+        max(0.0, min(end, e) - max(start, s)) for s, e in merged if s < end and e > start
+    )
+
+
+def chunk_pipeline_report(timeline: Timeline) -> dict[int, dict[str, float]]:
+    """Per-rank accounting of the chunk-level pipelined wire.
+
+    Chunk events are the comm-stream events recorded with ``chunk`` args
+    (one per wire chunk of a pipelined exchange).  For each rank:
+
+    * ``chunks`` — number of chunk wire events;
+    * ``wire`` — their total charged wire seconds;
+    * ``stall`` — wire-port idle time *inside* the pipeline: gaps between
+      consecutive chunk events of one exchange, i.e. the wire waiting on a
+      chunk's compression (zero for a perfectly fed pipeline);
+    * ``hidden`` — the part of the chunked wire time that ran while the
+      rank's compute stream was busy (compression/decode/cross-stage
+      kernels), i.e. the wire the pipeline actually hid;
+    * ``hidden_fraction`` — ``hidden / wire`` (0 with no chunk events).
+    """
+    report: dict[int, dict[str, float]] = {}
+    for rank in timeline.ranks():
+        events = timeline.events_for_rank(rank)
+        chunked = [
+            e
+            for e in events
+            if e.stream == COMM_STREAM and e.args and "chunk" in e.args
+        ]
+        if not chunked:
+            continue
+        wire = sum(e.duration for e in chunked)
+        by_exchange: dict[object, list] = {}
+        for e in chunked:
+            by_exchange.setdefault(e.args.get("exchange"), []).append(e)
+        stall = 0.0
+        for group in by_exchange.values():
+            group.sort(key=lambda e: (e.start, e.end))
+            stall += sum(
+                max(0.0, later.start - earlier.end)
+                for earlier, later in zip(group, group[1:])
+            )
+        compute_intervals = _merge_intervals(
+            [
+                (e.start, e.end)
+                for e in events
+                if e.stream == COMPUTE_STREAM and e.duration > 0
+            ]
+        )
+        hidden = sum(
+            _overlap_with_merged((e.start, e.end), compute_intervals) for e in chunked
+        )
+        report[rank] = {
+            "chunks": float(len(chunked)),
+            "wire": wire,
+            "stall": stall,
+            "hidden": hidden,
+            "hidden_fraction": hidden / wire if wire > 0 else 0.0,
         }
     return report
 

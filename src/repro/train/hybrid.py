@@ -16,9 +16,15 @@ payload all-to-all, and per-slice decompression.
 **Every collective goes through the** :class:`~repro.dist.comm.Communicator`
 — the trainer never charges ``simulator.collective`` directly, so trainer
 and communicator cannot drift apart.  ``overlap=True`` runs the compressed
-exchanges in the communicator's pipelined mode (stage ① overlapping stage
-③ on per-rank streams); ``allreduce_algorithm="hierarchical"`` prices the
-dense synchronization with the topology-aware hierarchical schedule.
+exchanges in the communicator's chunk-level pipelined mode (stage ①
+overlapping stage ③ on per-rank streams, ``pipeline_chunks`` wire chunks
+per rank); ``overlap="cross_stage"`` additionally issues the *backward*
+embedding-gradient exchange before charging the bottom-MLP backward
+kernels, so that exchange overlaps compute across pipeline stages (the
+kernels ride into the communicator as ``overlap_compute_seconds`` — the
+numerics are bit-identical in every mode, only the charge schedule moves).
+``allreduce_algorithm="hierarchical"`` prices the dense synchronization
+with the topology-aware hierarchical schedule.
 
 **Numerics vs. timing.**  All ranks of the simulation share one
 :class:`~repro.model.dlrm.DLRM` parameter set: replicated data-parallel
@@ -93,18 +99,26 @@ class HybridParallelTrainer:
         lr: float = 0.1,
         optimizer: str = "sgd",
         sharding: ShardingPlan | None = None,
-        overlap: bool = False,
+        overlap: bool | str = False,
         allreduce_algorithm: str = "ring",
+        pipeline_chunks: int = 8,
     ):
         check_positive("lr", lr)
         check_in("optimizer", optimizer, ("sgd", "adagrad"))
         check_in("allreduce_algorithm", allreduce_algorithm, ("ring", "hierarchical"))
+        if overlap not in (False, True, "cross_stage"):
+            raise ValueError(
+                f"overlap must be False, True, or 'cross_stage', got {overlap!r}"
+            )
+        check_positive("pipeline_chunks", pipeline_chunks)
         self.model = model
         self.dataset = dataset
         self.simulator = simulator
         self.comm = simulator.comm
         self.pipeline = pipeline
         self.overlap = bool(overlap)
+        self.cross_stage = overlap == "cross_stage"
+        self.pipeline_chunks = int(pipeline_chunks)
         self.allreduce_algorithm = allreduce_algorithm
         n_tables = model.config.n_tables
         self.sharding = sharding or ShardingPlan.size_balanced(
@@ -211,7 +225,11 @@ class HybridParallelTrainer:
                     chunks.append((codec, rows[lo:hi].nbytes))
             if chunks:
                 compress_seconds[rank] = self.pipeline.compression_seconds(chunks)
-                chunks_per_rank[rank] = len(chunks)
+                # Pipeline depth: the communicator emits one real wire
+                # event per chunk, so cap the granularity at the trainer's
+                # pipeline_chunks knob (slices batch into that many
+                # chunk-sized kernels/messages).
+                chunks_per_rank[rank] = min(len(chunks), self.pipeline_chunks)
 
         # Every receiver decodes the same per-slice chunk set.
         decompress_seconds = [
@@ -253,10 +271,19 @@ class HybridParallelTrainer:
         return reconstructed
 
     def _backward_exchange(
-        self, sparse: np.ndarray, d_emb: list[np.ndarray], iteration: int
+        self,
+        sparse: np.ndarray,
+        d_emb: list[np.ndarray],
+        iteration: int,
+        overlap_compute: list[float] | None = None,
     ) -> None:
         """Gradient all-to-all (uncompressed unless the pipeline opts in) +
-        sparse accumulation at the table owners."""
+        sparse accumulation at the table owners.
+
+        ``overlap_compute`` (cross-stage mode) carries the bottom-MLP
+        backward kernel times into the communicator so the exchange's wire
+        overlaps them — the exchange is issued first, the kernels launch
+        behind the compression chunks, decode trails the arrivals."""
         gpu = self.simulator.gpu
         cfg = self.model.config
         batch_size = sparse.shape[0]
@@ -287,7 +314,7 @@ class HybridParallelTrainer:
                         (self.pipeline.controller.compressor_name(table_id), rows.nbytes)
                     )
                 compress_seconds[src] = self.pipeline.compression_seconds(chunks)
-                chunks_per_rank[src] = max(1, len(chunks))
+                chunks_per_rank[src] = max(1, min(len(chunks), self.pipeline_chunks))
             decompress_seconds = [
                 self.pipeline.decompression_seconds(
                     [
@@ -308,12 +335,19 @@ class HybridParallelTrainer:
                 compress_seconds=compress_seconds,
                 decompress_seconds=decompress_seconds,
                 chunks_per_rank=chunks_per_rank,
+                overlap_compute_seconds=overlap_compute,
+                overlap_compute_category=EventCategory.BOTTOM_MLP_BWD,
             )
         else:
             grad_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
             for table_id in range(cfg.n_tables):
                 grad_matrix[:, self.sharding.owner_of(table_id)] += slice_bytes
-            self.comm.all_to_all_bytes(grad_matrix, EventCategory.ALLTOALL_BWD)
+            self.comm.all_to_all_bytes(
+                grad_matrix,
+                EventCategory.ALLTOALL_BWD,
+                overlap_compute_seconds=overlap_compute,
+                overlap_compute_category=EventCategory.BOTTOM_MLP_BWD,
+            )
 
         for rank in range(self.n_ranks):
             owned = self.sharding.tables_of(rank)
@@ -366,8 +400,18 @@ class HybridParallelTrainer:
                 EventCategory.INTERACTION_BWD,
             )
         d_bottom, d_emb = self.model.backward_interaction(dlogits)
-        self._backward_exchange(batch.sparse, d_emb, iteration)
-        self._charge_mlp(local, self.model.bottom_mlp.sizes, EventCategory.BOTTOM_MLP_BWD, scale=2.0)
+        if self.cross_stage:
+            # Cross-stage overlap: the gradient exchange is issued first
+            # and the bottom-MLP backward kernels ride into it, so the
+            # wire hides behind them (charge schedule only — numerics are
+            # identical to the sequential order below).
+            mlp_bwd = 2.0 * self.simulator.gpu.mlp_time(local, self.model.bottom_mlp.sizes)
+            self._backward_exchange(
+                batch.sparse, d_emb, iteration, overlap_compute=[mlp_bwd] * self.n_ranks
+            )
+        else:
+            self._backward_exchange(batch.sparse, d_emb, iteration)
+            self._charge_mlp(local, self.model.bottom_mlp.sizes, EventCategory.BOTTOM_MLP_BWD, scale=2.0)
         self.model.backward_dense(d_bottom)
 
         # Dense gradient synchronization + update (numerics are exact by

@@ -320,6 +320,89 @@ class TestLz77Differential:
         assert _reference_lz77_decode_bytes(stream, len(data)) == data
 
 
+class TestOracleEdgeCases:
+    """Gap coverage against the frozen seed oracles: empty payloads,
+    single-symbol alphabets, and the max-alphabet boundary."""
+
+    def test_empty_huffman_payload_matches_reference(self):
+        symbols = np.zeros(0, dtype=np.int64)
+        new = huffman_encode(symbols, 1)
+        ref = _reference_huffman_encode(symbols, 1)
+        np.testing.assert_array_equal(new.payload, ref.payload)
+        np.testing.assert_array_equal(new.code_lengths, ref.code_lengths)
+        np.testing.assert_array_equal(new.chunk_bit_offsets, ref.chunk_bit_offsets)
+        np.testing.assert_array_equal(new.chunk_symbol_counts, ref.chunk_symbol_counts)
+        assert huffman_decode(new).size == 0
+        assert _reference_huffman_decode(new).size == 0
+
+    def test_empty_lz77_stream_matches_reference(self):
+        new_stream = lz77_encode_bytes(b"", 64)
+        ref_stream = _reference_lz77_encode_bytes(b"", 64)
+        assert new_stream == ref_stream
+        assert lz77_decode_bytes(new_stream, 0) == b""
+        assert _reference_lz77_decode_bytes(ref_stream, 0) == b""
+
+    def test_empty_vector_lz_batch_matches_reference(self):
+        codes = np.zeros((0, 4), dtype=np.int64)
+        encoded = vector_lz_encode(codes, window=8)
+        np.testing.assert_array_equal(vector_lz_decode(encoded), codes)
+        np.testing.assert_array_equal(_reference_vector_lz_decode(encoded), codes)
+
+    def test_empty_bitplanes_match_reference(self):
+        unsigned = np.zeros(0, dtype=np.uint64)
+        new_bitmap, new_payload, new_blocks = pack_bitplanes(unsigned, 128)
+        ref_bitmap, ref_payload, ref_blocks = _reference_pack_bitplanes(unsigned, 128)
+        assert new_blocks == ref_blocks
+        assert new_bitmap.tobytes() == ref_bitmap.tobytes()
+        assert new_payload.tobytes() == ref_payload.tobytes()
+        decoded = unpack_bitplanes(new_bitmap, new_payload, 0, 128, new_blocks)
+        assert decoded.size == 0
+
+    def test_single_symbol_alphabet_matches_reference(self):
+        """A degenerate one-symbol alphabet (constant slice after
+        quantization) must encode and decode identically on both paths."""
+        symbols = np.zeros(257, dtype=np.int64)
+        new = huffman_encode(symbols, 1)
+        ref = _reference_huffman_encode(symbols, 1)
+        np.testing.assert_array_equal(new.payload, ref.payload)
+        np.testing.assert_array_equal(new.code_lengths, ref.code_lengths)
+        np.testing.assert_array_equal(huffman_decode(new), symbols)
+        np.testing.assert_array_equal(_reference_huffman_decode(new), symbols)
+
+    def test_constant_batch_roundtrips_through_entropy_codec(self):
+        data = np.full((16, 8), 0.25, dtype=np.float32)
+        codec = EntropyCompressor()
+        payload = codec.compress(data, 0.1)
+        rec = codec.decompress(payload)
+        assert np.abs(data - rec).max() <= 0.1 * (1 + 1e-6)
+
+    def test_max_alphabet_boundary_symbols_match_reference(self):
+        """Symbols spanning the full declared alphabet, including the top
+        symbol ``alphabet - 1``, on both encoder paths."""
+        alphabet = 4096
+        rng = np.random.default_rng(11)
+        symbols = np.concatenate(
+            [np.array([0, alphabet - 1]), rng.integers(0, alphabet, size=500)]
+        ).astype(np.int64)
+        new = huffman_encode(symbols, alphabet)
+        ref = _reference_huffman_encode(symbols, alphabet)
+        np.testing.assert_array_equal(new.payload, ref.payload)
+        np.testing.assert_array_equal(new.code_lengths, ref.code_lengths)
+        np.testing.assert_array_equal(huffman_decode(new), symbols)
+        np.testing.assert_array_equal(_reference_huffman_decode(new), symbols)
+
+    def test_quantize_batch_max_alphabet_boundary(self):
+        """Exactly at the cap passes; one past the cap fails fast."""
+        from repro.compression.quantizer import quantize_batch
+
+        m = 1024
+        data = (np.arange(m, dtype=np.float32))[:, None]  # codes 0..m-1 at eb=0.5
+        batch = quantize_batch(data, 0.5, max_alphabet=m)
+        assert batch.alphabet_size == m
+        with pytest.raises(ValueError, match="alphabet"):
+            quantize_batch(data, 0.5, max_alphabet=m - 1)
+
+
 class TestFzgpuDifferential:
     @given(
         st.integers(min_value=0, max_value=8000),

@@ -328,13 +328,29 @@ class TestOverlappedExchange:
         # The wire starts before compression has finished: true overlap.
         assert min(e.start for e in wire) < max(e.end for e in compress)
 
-    def test_overlap_collective_spans_identical_across_ranks(self):
+    def test_overlap_metadata_spans_identical_wire_chunked_per_rank(self):
         sim = _run_compressed_exchange(
             True, [1e-3, 2e-3, 5e-4, 0.0], [1e-4] * 4, [[10_000] * 4] * 4, [4] * 4
         )
-        for category in (EventCategory.METADATA, EventCategory.ALLTOALL_FWD):
-            events = sim.timeline.events_in_category(category)
-            assert len({(e.start, e.end) for e in events}) == 1
+        meta = sim.timeline.events_in_category(EventCategory.METADATA)
+        assert len({(e.start, e.end) for e in meta}) == 1
+        # The wire is k real chunk events per rank on the comm stream,
+        # tagged with chunk args, never overlapping within one rank's lane.
+        wire = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        for rank in range(4):
+            rank_chunks = sorted(
+                (e for e in wire if e.rank == rank), key=lambda e: e.start
+            )
+            assert len(rank_chunks) == 4
+            assert [e.args["chunk"] for e in rank_chunks] == [0, 1, 2, 3]
+            assert all(e.args["chunks"] == 4 for e in rank_chunks)
+            for a, b in zip(rank_chunks, rank_chunks[1:]):
+                assert a.end <= b.start + 1e-12
+        # Every rank's chunk durations sum to the full collective time.
+        expected = sim.network.all_to_all_time(np.full((4, 4), 10_000))
+        for rank in range(4):
+            total = sum(e.duration for e in wire if e.rank == rank)
+            assert total == pytest.approx(expected)
 
     @given(
         st.integers(min_value=2, max_value=5),

@@ -219,3 +219,88 @@ class TestStreamLanes:
         assert loaded == sim.timeline.to_chrome_trace()
         xs = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
         assert len({e["tid"] for e in xs}) == 4  # 2 ranks x 2 streams
+
+
+class TestChunkTraceSchema:
+    """Chunk events of the pipelined exchange in the chrome-trace export:
+    distinct args per chunk, correct (rank, stream) lanes, JSON round-trip."""
+
+    def _chunked_run(self):
+        from repro.dist import ClusterSimulator
+
+        sim = ClusterSimulator(2)
+        sim.comm.compressed_all_to_all(
+            [[b"x" * 1000] * 2] * 2,
+            overlap=True,
+            compress_seconds=[2e-4, 1e-4],
+            decompress_seconds=[1e-4, 1e-4],
+            chunks_per_rank=[3, 3],
+        )
+        return sim
+
+    def test_event_args_recorded_per_chunk(self):
+        sim = self._chunked_run()
+        wire = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        for rank in (0, 1):
+            rank_args = [e.args for e in wire if e.rank == rank]
+            assert len(rank_args) == 3
+            # Distinct args per chunk event, chunk count and exchange id set.
+            assert len({tuple(sorted(a.items())) for a in rank_args}) == 3
+            assert {a["chunk"] for a in rank_args} == {0, 1, 2}
+            assert all(a["chunks"] == 3 for a in rank_args)
+            assert len({a["exchange"] for a in rank_args}) == 1
+
+    def test_exchange_ids_distinguish_back_to_back_exchanges(self):
+        sim = self._chunked_run()
+        sim.comm.compressed_all_to_all(
+            [[b"y" * 500] * 2] * 2,
+            overlap=True,
+            compress_seconds=[1e-4, 1e-4],
+            chunks_per_rank=[2, 2],
+        )
+        wire = sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        assert len({e.args["exchange"] for e in wire}) == 2
+
+    def test_chunk_events_export_args_on_correct_lanes(self):
+        sim = self._chunked_run()
+        trace = sim.timeline.to_chrome_trace()
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        wire = [e for e in xs if e["name"] == "alltoall_fwd"]
+        compress = [e for e in xs if e["name"] == "compress"]
+        assert len(wire) == 6 and len(compress) == 6
+        for e in wire:
+            assert e["args"]["chunk"] in (0, 1, 2)
+            assert thread_names[e["tid"]].endswith("[comm]")
+        for e in compress:
+            assert thread_names[e["tid"]].endswith("[compute]")
+        # Wire chunks of one rank all share that rank's comm lane.
+        rank0_wire_tids = {
+            e["tid"] for e in wire if thread_names[e["tid"]].startswith("rank 0")
+        }
+        assert len(rank0_wire_tids) == 1
+
+    def test_args_round_trip_through_dump(self, tmp_path):
+        import json
+
+        sim = self._chunked_run()
+        path = sim.timeline.dump_chrome_trace(tmp_path / "chunks.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == sim.timeline.to_chrome_trace()
+        wire = [
+            e
+            for e in loaded["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "alltoall_fwd"
+        ]
+        assert all(set(e["args"]) == {"exchange", "chunk", "chunks"} for e in wire)
+
+    def test_events_without_args_keep_the_plain_schema(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        trace = tl.to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert set(xs[0]) == {"name", "cat", "ph", "pid", "tid", "ts", "dur"}

@@ -8,6 +8,7 @@ from repro.dist.timeline import COMM_STREAM, EventCategory, Timeline
 from repro.profiling import (
     breakdown_report,
     breakdown_rows,
+    chunk_pipeline_report,
     compare_runs,
     overlap_efficiency,
     overlap_report,
@@ -109,3 +110,65 @@ class TestOverlapReport:
         # Concurrency across ranks is parallelism, not stream overlap.
         assert report[0]["overlapped"] == 0.0
         assert report[1]["overlapped"] == 0.0
+
+
+class TestChunkPipelineReport:
+    def _chunk(self, tl, rank, start, dur, chunk, exchange=0):
+        tl.record(
+            rank,
+            EventCategory.ALLTOALL_FWD,
+            start,
+            dur,
+            stream=COMM_STREAM,
+            args={"exchange": exchange, "chunk": chunk, "chunks": 3},
+        )
+
+    def test_stall_is_the_gap_between_consecutive_chunks(self):
+        tl = Timeline()
+        # Chunks at [0,1], [1,2], [2.5,3.5]: one 0.5 s stall.
+        self._chunk(tl, 0, 0.0, 1.0, 0)
+        self._chunk(tl, 0, 1.0, 1.0, 1)
+        self._chunk(tl, 0, 2.5, 1.0, 2)
+        report = chunk_pipeline_report(tl)
+        assert report[0]["chunks"] == 3
+        assert report[0]["wire"] == pytest.approx(3.0)
+        assert report[0]["stall"] == pytest.approx(0.5)
+
+    def test_hidden_is_the_compute_covered_wire_time(self):
+        tl = Timeline()
+        self._chunk(tl, 0, 0.0, 1.0, 0)
+        self._chunk(tl, 0, 1.0, 1.0, 1)
+        # Compute covers [0.5, 1.5]: hides 1 s of the 2 s chunked wire.
+        tl.record(0, EventCategory.COMPRESS, 0.5, 1.0)
+        report = chunk_pipeline_report(tl)
+        assert report[0]["hidden"] == pytest.approx(1.0)
+        assert report[0]["hidden_fraction"] == pytest.approx(0.5)
+
+    def test_gaps_across_exchanges_are_not_stalls(self):
+        tl = Timeline()
+        self._chunk(tl, 0, 0.0, 1.0, 0, exchange=0)
+        self._chunk(tl, 0, 5.0, 1.0, 0, exchange=1)
+        report = chunk_pipeline_report(tl)
+        assert report[0]["stall"] == pytest.approx(0.0)
+
+    def test_unchunked_timeline_yields_empty_report(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.ALLTOALL_FWD, 0.0, 1.0, stream=COMM_STREAM)
+        assert chunk_pipeline_report(tl) == {}
+
+    def test_simulated_pipelined_exchange_hides_wire(self):
+        from repro.dist import ClusterSimulator, NetworkModel
+
+        sim = ClusterSimulator(2, network=NetworkModel(bandwidth=1e9, latency=1e-6))
+        sim.comm.compressed_all_to_all(
+            [[b"x" * 50_000] * 2] * 2,
+            overlap=True,
+            compress_seconds=[1e-3, 1e-3],
+            decompress_seconds=[5e-4, 5e-4],
+            chunks_per_rank=[8, 8],
+        )
+        report = chunk_pipeline_report(sim.timeline)
+        for rank in (0, 1):
+            assert report[rank]["chunks"] == 8
+            assert report[rank]["hidden"] > 0.0
+            assert 0.0 < report[rank]["hidden_fraction"] <= 1.0
