@@ -12,6 +12,9 @@ Public API tour:
 * :mod:`repro.dist` — cluster/network/GPU simulation substrate.
 * :mod:`repro.train` — reference and hybrid-parallel trainers with the
   4-stage compressed all-to-all pipeline.
+* :mod:`repro.serve` — inference-serving tier: compressed embedding
+  shards, hot-row replica caches, open-loop load, and compressed delta
+  publication from the trainer.
 * :mod:`repro.analysis` / :mod:`repro.profiling` — data-feature analysis
   and training-time breakdowns.
 """
@@ -29,6 +32,14 @@ from repro.compression import HybridCompressor, get_compressor
 from repro.data import CRITEO_KAGGLE, CRITEO_TERABYTE, SyntheticClickDataset, scaled_spec
 from repro.dist import ClusterSimulator
 from repro.model import DLRM, DLRMConfig
+from repro.serve import (
+    DeltaPublisher,
+    EmbeddingShardServer,
+    InferenceReplica,
+    RequestLoadGenerator,
+    ServingSimulator,
+    build_serving_tier,
+)
 from repro.train import CompressionPipeline, HybridParallelTrainer, ReferenceTrainer
 
 __all__ = [
@@ -50,4 +61,10 @@ __all__ = [
     "ReferenceTrainer",
     "HybridParallelTrainer",
     "CompressionPipeline",
+    "EmbeddingShardServer",
+    "InferenceReplica",
+    "RequestLoadGenerator",
+    "ServingSimulator",
+    "DeltaPublisher",
+    "build_serving_tier",
 ]

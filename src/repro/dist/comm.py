@@ -25,11 +25,16 @@ compress finishes *and* the previous chunk's wire slot frees, and stage-④
 decode of chunk ``i`` starts at its arrival (when the slowest sender's
 matching chunk has cleared the wire).  This is the paper's future-work
 NCCL integration priced end to end, with honest per-chunk stall
-accounting instead of an analytic first/last-chunk correction.  The
-pipelined makespan never exceeds the sequential layout, is monotone
-non-increasing in the chunk count down to the ``max(compute, wire)``
-floor, and degenerates to the single-collective model at one chunk — the
-chunk-pipeline property tests pin all three laws.
+accounting instead of an analytic first/last-chunk correction.  Chunk
+wire events are priced at each chunk's *actual byte share* of the
+collective, conserving per-rank wire totals — so the pipelined makespan
+never exceeds the sequential layout, never drops below the
+``max(compute, wire)`` floor, and degenerates to the single-collective
+model at one chunk, for arbitrary payload layouts.  With even splits
+(single indivisible buffers, whose k slices genuinely are equal shares)
+the makespan is additionally monotone non-increasing in the chunk count;
+honestly uneven shares can trade that away.  The chunk-pipeline property
+tests pin all of these laws.
 
 ``overlap_compute_seconds`` slots rank-local compute (e.g. the trainer's
 bottom-MLP backward kernels) between the compress and decode stages on
@@ -92,6 +97,25 @@ class Communicator:
             for dst in range(n):
                 matrix[src, dst] = payload_nbytes(sendbufs[src][dst])
         return matrix
+
+    def _atomic_sizes(
+        self, sendbufs: Sequence[Sequence[object]]
+    ) -> list[list[list[int] | int]]:
+        """Per-(src, dst) payload sizes: a *sequence* payload yields the
+        list of its slices' sizes (slice boundaries constrain chunking), a
+        single indivisible buffer a bare int (the wire may cut it
+        anywhere).  One traversal serves both the byte matrix and the
+        chunk byte shares."""
+        n = self.n_ranks
+        return [
+            [
+                [payload_nbytes(part) for part in buf]
+                if isinstance(buf, (list, tuple))
+                else payload_nbytes(buf)
+                for buf in (sendbufs[src][dst] for dst in range(n))
+            ]
+            for src in range(n)
+        ]
 
     # --------------------------------------------------------- all-to-all
 
@@ -231,9 +255,13 @@ class Communicator:
         * ``overlap=True`` — chunk-level pipeline: per-rank stage ① is
           split into ``chunks_per_rank`` (scalar or per-rank) real chunk
           kernels, and each chunk gets its own wire event on the rank's
-          ``comm`` stream.  Chunk ``i``'s wire starts once its compress
-          finished and the previous chunk's wire slot freed; decode of
-          chunk ``i`` starts at its arrival.  Compression/decompression
+          ``comm`` stream, priced at the chunk's *actual byte share* of
+          the collective (chunks partition the rank's posted payloads in
+          destination order, so per-slice payload batches yield honestly
+          uneven — typically tail-light — chunk wire times).  Chunk
+          ``i``'s wire starts once its compress finished and the previous
+          chunk's wire slot freed; decode of chunk ``i`` starts at its
+          arrival.  Compression/decompression
           run on each rank's ``compute`` stream, the wire on the ``comm``
           stream, so the chrome trace renders the chunk pipeline on
           separate lanes, every chunk event tagged with
@@ -250,7 +278,15 @@ class Communicator:
         meta_seconds, skip_metadata = self._metadata_seconds(
             metadata_bytes_per_entry, entries_per_pair
         )
-        payload_seconds = sim.network.all_to_all_time(self._byte_matrix(sendbufs))
+        atomic_sizes = self._atomic_sizes(sendbufs)
+        byte_matrix = np.array(
+            [
+                [sum(entry) if isinstance(entry, list) else entry for entry in row]
+                for row in atomic_sizes
+            ],
+            dtype=np.int64,
+        )
+        payload_seconds = sim.network.all_to_all_time(byte_matrix)
         compress = self._per_rank_seconds(compress_seconds, "compress_seconds")
         decompress = self._per_rank_seconds(decompress_seconds, "decompress_seconds")
         chunks = self._per_rank_chunks(chunks_per_rank)
@@ -279,6 +315,7 @@ class Communicator:
                 compress,
                 decompress,
                 chunks,
+                wire_fractions=self._chunk_wire_fractions(atomic_sizes, chunks),
                 skip_metadata=skip_metadata,
                 category=category,
                 compress_category=compress_category,
@@ -297,6 +334,51 @@ class Communicator:
         if any(v < 0 for v in values):
             raise ValueError(f"{name} entries must be >= 0")
         return values
+
+    def _chunk_wire_fractions(
+        self, atomic_sizes: list[list[list[int] | int]], chunks: list[int]
+    ) -> list[list[float]]:
+        """Per-rank per-chunk share of the payload collective's wire time.
+
+        When a rank's row holds *sequences* of per-slice buffers (the
+        trainer's per-table compressed payloads, which are self-describing
+        and must ship whole), its ``k`` chunks are contiguous groups of
+        those atomic slices in destination order, and each chunk's share
+        is the actual bytes its group puts on the wire (self-destined
+        slices count zero) — last chunks are often lighter, which sharpens
+        the pipeline tail versus the former even ``payload_seconds / k``
+        split.  A row of only indivisible buffers keeps equal-byte chunks:
+        the wire may cut an opaque buffer anywhere, so its ``k`` slices
+        genuinely are equal shares — and that preserves the chunk-count
+        monotonicity law for the single-buffer shape.  Every rank's
+        fractions sum to 1, so the per-rank wire total — and with it the
+        sequential/analytic makespan bounds and the ``k = 1`` degeneracy —
+        is unchanged for every layout.
+        """
+        n = self.n_ranks
+        fractions: list[list[float]] = []
+        for rank in range(n):
+            k = chunks[rank]
+            row = atomic_sizes[rank]
+            if not any(isinstance(entry, list) for entry in row):
+                fractions.append([1.0 / k] * k)
+                continue
+            parts: list[int] = []  # atomic wire sizes, destination order
+            for dst in range(n):
+                entry = row[dst]
+                sizes = entry if isinstance(entry, list) else [entry]
+                parts.extend(sizes if dst != rank else [0] * len(sizes))
+            total = sum(parts)
+            if total == 0 or len(parts) < k:
+                # Nothing on the wire, or buffers sliced finer than their
+                # atomic count: equal-byte chunks are the actual shares.
+                fractions.append([1.0 / k] * k)
+                continue
+            bounds = [math.ceil(j * len(parts) / k) for j in range(k + 1)]
+            fractions.append(
+                [sum(parts[bounds[j] : bounds[j + 1]]) / total for j in range(k)]
+            )
+        return fractions
 
     def _per_rank_chunks(self, chunks_per_rank) -> list[int]:
         if chunks_per_rank is None:
@@ -320,6 +402,7 @@ class Communicator:
         decompress: list[float],
         chunks: list[int],
         *,
+        wire_fractions: list[list[float]] | None = None,
         skip_metadata: bool,
         category: str,
         compress_category: str,
@@ -331,16 +414,21 @@ class Communicator:
 
         Per rank ``r`` with ``k = chunks[r]``: stage ① runs as ``k`` equal
         chunk kernels on the ``compute`` stream; stage ③ runs as ``k``
-        chunk wire events on the ``comm`` stream, chunk ``j`` released
-        when its compress finished (the stream clock serializes the wire
-        slots); stage ④ decodes chunk ``j`` once the slowest sender's
-        matching chunk has cleared the wire.  The metadata round goes out
-        once every rank's first chunk exists (the first sizes are known).
+        chunk wire events on the ``comm`` stream — chunk ``j`` priced at
+        its ``wire_fractions[r][j]`` byte share of the collective (equal
+        shares when no fractions are given) and released when its compress
+        finished (the stream clock serializes the wire slots); stage ④
+        decodes chunk ``j`` once the slowest sender's matching chunk has
+        cleared the wire.  The metadata round goes out once every rank's
+        first chunk exists (the first sizes are known).
 
         Invariants the chunk-pipeline property tests pin: the makespan
         never exceeds the sequential layout's ``max(compress) + meta +
-        payload + max(decompress)``, is monotone non-increasing in the
-        chunk count, and equals the sequential layout at one chunk.
+        payload + max(decompress)`` and equals it at one chunk — for any
+        ``wire_fractions`` (per-rank wire totals are conserved).  With
+        even splits the makespan is additionally monotone non-increasing
+        in the chunk count; honestly uneven byte shares can trade that
+        away for a front-loaded chunk.
         """
         sim = self.simulator
         n = self.n_ranks
@@ -348,16 +436,21 @@ class Communicator:
         self._exchange_counter += 1
         starts = [sim.sync(rank) for rank in range(n)]
 
-        # Stage ①: k real compression chunk kernels per rank.
+        # Stage ①: k real compression chunk kernels per rank.  Each chunk
+        # compresses the same slices its wire event ships, so chunk kernel
+        # time follows the same byte shares (compressed bytes as the proxy
+        # for the slices' input volume); even split otherwise.
         comp_ends: list[list[float]] = []
         for rank in range(n):
             k = chunks[rank]
             if compress[rank] > 0.0:
-                per_chunk = compress[rank] / k
+                shares = (
+                    wire_fractions[rank] if wire_fractions is not None else [1.0 / k] * k
+                )
                 ends = [
                     sim.stream_compute(
                         rank,
-                        per_chunk,
+                        compress[rank] * shares[j],
                         compress_category,
                         COMPUTE_STREAM,
                         args={"exchange": eid, "chunk": j, "chunks": k},
@@ -389,11 +482,13 @@ class Communicator:
         wire_ends: list[list[float]] = []
         for rank in range(n):
             k = chunks[rank]
-            per_wire = payload_seconds / k
+            shares = (
+                wire_fractions[rank] if wire_fractions is not None else [1.0 / k] * k
+            )
             ends = [
                 sim.stream_compute(
                     rank,
-                    per_wire,
+                    payload_seconds * shares[j],
                     category,
                     COMM_STREAM,
                     not_before=max(meta_end, comp_ends[rank][j]),
@@ -417,6 +512,9 @@ class Communicator:
 
         # Stage ④: decode of chunk j starts at its arrival — when the
         # slowest sender's fraction-matched chunk has cleared the wire.
+        # Decode chunks split evenly: a receiver's chunk j holds slices
+        # from *every* sender, and the sender-side byte shares don't
+        # determine the per-receiver split.
         for rank in range(n):
             k = chunks[rank]
             if decompress[rank] > 0.0:

@@ -1,0 +1,194 @@
+"""Inference replicas: hot-row LRU caches in front of compressed shards.
+
+A :class:`InferenceReplica` is one stateless-model serving node: it holds
+the (replicated, tiny) MLP weights implicitly and caches *decoded
+embedding rows* in an LRU keyed by ``(table_id, row_id)``.  The synthetic
+data's Zipf-skewed queries concentrate mass on few rows per table, so a
+cache of a small fraction of the total rows absorbs most lookups — misses
+fan out as row-granular pulls from the owning
+:class:`~repro.serve.shard_server.EmbeddingShardServer`.
+
+The cache is a strict LRU over requested rows only (no block prefetch), so
+it inherits the classic stack-algorithm inclusion property: for the same
+request trace a larger cache's contents are always a superset of a smaller
+cache's, hence the hit rate is monotone non-decreasing in capacity — the
+invariant the serving tests pin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.serve.shard_server import EmbeddingShardServer, ShardPull
+from repro.train.sharding import ShardingPlan
+
+__all__ = ["GatherResult", "InferenceReplica"]
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """One request's embedding gather: rows + the cost of getting them."""
+
+    rows: np.ndarray  # (n_tables, dim) float32
+    hits: int
+    misses: int
+    pulls: tuple[ShardPull, ...] = ()
+    #: shard rank each pull went to, aligned with ``pulls``
+    pull_ranks: tuple[int, ...] = field(default=())
+
+    @property
+    def fanout(self) -> int:
+        """Distinct shard nodes this request had to contact."""
+        return len(set(self.pull_ranks))
+
+    @property
+    def pulled_compressed_nbytes(self) -> int:
+        return sum(p.compressed_nbytes for p in self.pulls)
+
+    @property
+    def pulled_raw_nbytes(self) -> int:
+        return sum(p.raw_nbytes for p in self.pulls)
+
+
+class InferenceReplica:
+    """One serving replica: LRU row cache over sharded compressed tables.
+
+    Parameters
+    ----------
+    replica_id:
+        Stable identity (used for request routing and reporting).
+    servers:
+        One :class:`EmbeddingShardServer` per shard rank; ``sharding``
+        maps each table to the server that owns it.
+    sharding:
+        Table-to-shard-rank assignment (the serving tier reuses the
+        training tier's :class:`ShardingPlan`).
+    cache_rows:
+        Hot-row LRU capacity in rows; ``0`` disables caching (every
+        lookup is a shard pull).
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        servers: Sequence[EmbeddingShardServer],
+        sharding: ShardingPlan,
+        cache_rows: int = 4096,
+    ):
+        if cache_rows < 0:
+            raise ValueError(f"cache_rows must be >= 0, got {cache_rows}")
+        if sharding.n_ranks != len(servers):
+            raise ValueError(
+                f"sharding spans {sharding.n_ranks} shard ranks but {len(servers)} "
+                "servers were given"
+            )
+        for rank, server in enumerate(servers):
+            owned = set(sharding.tables_of(rank))
+            missing = owned - set(server.table_ids())
+            if missing:
+                raise ValueError(
+                    f"shard rank {rank} is missing tables {sorted(missing)}"
+                )
+        self.replica_id = int(replica_id)
+        self.servers = tuple(servers)
+        self.sharding = sharding
+        self.cache_rows = int(cache_rows)
+        self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # --------------------------------------------------------------- cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def cached_tables(self) -> set[int]:
+        return {table_id for table_id, _ in self._cache}
+
+    def _cache_get(self, key: tuple[int, int]) -> np.ndarray | None:
+        row = self._cache.get(key)
+        if row is not None:
+            self._cache.move_to_end(key)
+        return row
+
+    def _cache_put(self, key: tuple[int, int], row: np.ndarray) -> None:
+        if self.cache_rows == 0:
+            return
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        self._cache[key] = row
+        while len(self._cache) > self.cache_rows:
+            self._cache.popitem(last=False)
+
+    def invalidate_tables(self, table_ids) -> int:
+        """Drop cached rows of the given tables (delta publication made
+        them stale); returns the number of rows dropped."""
+        table_ids = set(int(t) for t in table_ids)
+        stale = [key for key in self._cache if key[0] in table_ids]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    # -------------------------------------------------------------- lookups
+
+    def gather(self, sparse: np.ndarray) -> GatherResult:
+        """Gather one request's embedding rows (one id per table).
+
+        Cache hits are served locally; each missed table becomes one
+        row-granular pull from its owning shard node (the pull records
+        carry the shard rank so the simulator can price shared links),
+        and the pulled rows are inserted into the LRU.
+        """
+        sparse = np.asarray(sparse, dtype=np.int64)
+        if sparse.ndim != 1 or sparse.size != self.sharding.n_tables:
+            raise ValueError(
+                f"expected ({self.sharding.n_tables},) ids (one per table), "
+                f"got shape {sparse.shape}"
+            )
+        n_tables = sparse.size
+        rows: list[np.ndarray | None] = [None] * n_tables
+        missing: list[tuple[int, int]] = []  # (table_id, row_id), one per table
+        hits = 0
+        for table_id in range(n_tables):
+            row = self._cache_get((table_id, int(sparse[table_id])))
+            if row is not None:
+                rows[table_id] = row
+                hits += 1
+            else:
+                missing.append((table_id, int(sparse[table_id])))
+        pulls: list[ShardPull] = []
+        pull_ranks: list[int] = []
+        for table_id, row_id in missing:
+            shard_rank = self.sharding.owner_of(table_id)
+            pull = self.servers[shard_rank].pull(
+                table_id, np.array([row_id], dtype=np.int64)
+            )
+            pulls.append(pull)
+            pull_ranks.append(shard_rank)
+            rows[table_id] = pull.rows[0]
+            self._cache_put((table_id, row_id), pull.rows[0])
+        misses = len(missing)
+        self.hits += hits
+        self.misses += misses
+        return GatherResult(
+            rows=np.stack(rows, axis=0),
+            hits=hits,
+            misses=misses,
+            pulls=tuple(pulls),
+            pull_ranks=tuple(pull_ranks),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceReplica(id={self.replica_id}, cache={len(self._cache)}/"
+            f"{self.cache_rows} rows, hit_rate={self.hit_rate:.3f})"
+        )

@@ -1,0 +1,352 @@
+"""Compressed embedding shards with row-granular decode.
+
+An :class:`EmbeddingShardServer` is one parameter-server node of the
+serving tier: it owns a subset of the model's embedding tables (per a
+:class:`~repro.train.sharding.ShardingPlan`) and stores every table in
+*compressed form*, reusing the training-side codecs from
+:mod:`repro.compression`.  Tables are chopped into fixed-size **row
+blocks** and each block is compressed independently, so a lookup of a few
+rows decodes only the blocks those rows live in — the row-granular decode
+that makes compressed in-memory shards servable at all (decoding a
+multi-million-row table per request would drown any bandwidth win).
+
+Error bounds follow the training side's dual-level adaptive story: each
+table carries its own bound (typically the
+:class:`~repro.adaptive.controller.AdaptiveController`'s per-table bound,
+via :meth:`EmbeddingShardServer.from_model`).  A bound of ``0`` stores the
+table losslessly (byte-LZ), so compressed lookups are bit-identical to the
+raw rows — the contract the serving tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.cache import TableCodebookCache
+from repro.compression.registry import decompress_any, get_compressor
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ShardPull",
+    "EmbeddingShardServer",
+    "DEFAULT_ROWS_PER_BLOCK",
+    "serving_codec",
+    "serving_codec_pool",
+]
+
+#: default row-block granularity: small enough that one hot row does not
+#: drag megabytes across the fabric, large enough that the block payload
+#: amortizes the codec's framing overhead
+DEFAULT_ROWS_PER_BLOCK = 64
+
+#: codec used when a table's error bound is 0 (lossless, bit-identical)
+LOSSLESS_CODEC = "lz4_like"
+
+#: pin/refresh windows for the serving-side hot-loop caches — every block
+#: of a table recompresses per publication round, so the windows comfortably
+#: cover one table's block count
+SERVING_PIN_REFRESH = 64
+SERVING_CODEBOOK_REFRESH = 8
+
+
+def serving_codec(name: str) -> Compressor:
+    """A codec instance with its hot-loop caches enabled.
+
+    The serve tier compresses *keyed by table* in bulk (every block of a
+    table per recompression, every table delta per publication round), so
+    the hybrid codec gets pinned-encoder replay and the entropy codec a
+    per-table codebook cache — the same amortizations the training hot
+    loop uses (and the ``hybrid_pinned`` perf rows measure at 3-5x).
+    """
+    if name == "hybrid":
+        # Pin replay for the try-both trial *and* a codebook cache for the
+        # entropy leg — tables whose pinned winner is Huffman recompress
+        # every block per publication round.
+        return get_compressor(
+            name,
+            pin_refresh=SERVING_PIN_REFRESH,
+            codebook_cache=TableCodebookCache(refresh_every=SERVING_CODEBOOK_REFRESH),
+        )
+    if name == "entropy":
+        return get_compressor(
+            name, codebook_cache=TableCodebookCache(refresh_every=SERVING_CODEBOOK_REFRESH)
+        )
+    return get_compressor(name)
+
+
+def serving_codec_pool():
+    """A per-name memo over :func:`serving_codec` — one pool per owner
+    (shard node, publisher), so cache state never leaks between tiers.
+    Returns a ``get(name) -> Compressor`` callable."""
+    codecs: dict[str, Compressor] = {}
+
+    def pooled(name: str) -> Compressor:
+        if name not in codecs:
+            codecs[name] = serving_codec(name)
+        return codecs[name]
+
+    return pooled
+
+
+@dataclass(frozen=True)
+class ShardPull:
+    """One row-granular read from a compressed shard.
+
+    ``compressed_nbytes`` is what a remote caller pulls over the wire (the
+    touched blocks' payloads); ``raw_nbytes`` is what those blocks decode
+    to (what the caller's decompression kernel processes).
+    """
+
+    table_id: int
+    rows: np.ndarray  # (n_requested, dim) float32
+    codec: str
+    blocks_touched: int
+    compressed_nbytes: int
+    raw_nbytes: int
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rows.shape[0])
+
+
+class _CompressedTable:
+    """One table stored as independently-compressed row blocks."""
+
+    def __init__(
+        self,
+        table_id: int,
+        values: np.ndarray,
+        codec_name: str,
+        error_bound: float,
+        rows_per_block: int,
+        codec: Compressor,
+    ):
+        values = np.ascontiguousarray(values, dtype=np.float32)
+        if values.ndim != 2:
+            raise ValueError(
+                f"table {table_id}: expected (rows, dim) values, got shape {values.shape}"
+            )
+        if error_bound < 0:
+            raise ValueError(f"table {table_id}: error_bound must be >= 0, got {error_bound}")
+        check_positive("rows_per_block", rows_per_block)
+        self.table_id = table_id
+        self.cardinality, self.dim = values.shape
+        self.rows_per_block = int(rows_per_block)
+        self.error_bound = float(error_bound)
+        self.codec_name = codec_name
+        self._codec = codec
+        self.raw_nbytes = int(values.nbytes)
+        self.blocks: list[bytes] = []
+        self._recompress(values)
+
+    def _recompress(self, values: np.ndarray) -> None:
+        bound = self.error_bound if self.error_bound > 0 else None
+        blocks: list[bytes] = []
+        for lo in range(0, self.cardinality, self.rows_per_block):
+            block = values[lo : lo + self.rows_per_block]
+            if bound is not None:
+                # Keyed by table so pin/codebook caches amortize per table.
+                blocks.append(self._codec.compress_keyed(self.table_id, block, bound))
+            else:
+                blocks.append(self._codec.compress(block, bound))
+        self.blocks = blocks
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def pull(self, row_ids: np.ndarray) -> ShardPull:
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if row_ids.ndim != 1:
+            raise ValueError(f"row_ids must be 1-D, got shape {row_ids.shape}")
+        if row_ids.size and (row_ids.min() < 0 or row_ids.max() >= self.cardinality):
+            raise IndexError(
+                f"table {self.table_id}: row ids out of range [0, {self.cardinality})"
+            )
+        rows = np.empty((row_ids.size, self.dim), dtype=np.float32)
+        block_ids = row_ids // self.rows_per_block
+        unique_blocks = np.unique(block_ids)
+        compressed = 0
+        raw = 0
+        for block_id in unique_blocks:
+            payload = self.blocks[block_id]
+            decoded = decompress_any(payload)
+            in_block = block_ids == block_id
+            rows[in_block] = decoded[row_ids[in_block] - block_id * self.rows_per_block]
+            compressed += len(payload)
+            raw += decoded.nbytes
+        return ShardPull(
+            table_id=self.table_id,
+            rows=rows,
+            codec=self.codec_name,
+            blocks_touched=int(unique_blocks.size),
+            compressed_nbytes=compressed,
+            raw_nbytes=raw,
+        )
+
+    def decode_all(self) -> np.ndarray:
+        if not self.blocks:
+            return np.empty((0, self.dim), dtype=np.float32)
+        return np.concatenate([decompress_any(b) for b in self.blocks], axis=0)
+
+
+class EmbeddingShardServer:
+    """One serving node's compressed embedding shards.
+
+    Parameters
+    ----------
+    tables:
+        ``{table_id: (rows, dim) float32 values}`` for the tables this
+        shard node owns.
+    error_bounds:
+        Per-table absolute error bound (scalar applies to every table).
+        ``0`` stores a table losslessly — lookups are bit-identical.
+    codecs:
+        Per-table codec registry name (scalar applies to every table);
+        ignored for tables with bound ``0`` (stored with the lossless
+        byte-LZ codec).
+    rows_per_block:
+        Row-block compression granularity — the unit of decode (and of a
+        remote shard pull).
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[int, np.ndarray],
+        error_bounds: Mapping[int, float] | float = 1e-2,
+        codecs: Mapping[int, str] | str = "hybrid",
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    ):
+        if not tables:
+            raise ValueError("a shard server needs at least one table")
+
+        def bound_for(table_id: int) -> float:
+            if isinstance(error_bounds, Mapping):
+                return float(error_bounds[table_id])
+            return float(error_bounds)
+
+        def codec_for(table_id: int) -> str:
+            if isinstance(codecs, Mapping):
+                return str(codecs[table_id])
+            return str(codecs)
+
+        # One cached codec instance per name, shared by this node's tables
+        # (keyed compression keeps their caches disjoint per table).
+        pooled = serving_codec_pool()
+        self._tables: dict[int, _CompressedTable] = {}
+        for table_id, values in tables.items():
+            table_id = int(table_id)
+            bound = bound_for(table_id)
+            name = codec_for(table_id) if bound > 0 else LOSSLESS_CODEC
+            self._tables[table_id] = _CompressedTable(
+                table_id, values, name, bound, rows_per_block, pooled(name)
+            )
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        table_ids,
+        controller=None,
+        *,
+        iteration: int = 0,
+        error_bound: float = 1e-2,
+        codec: str = "hybrid",
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    ) -> "EmbeddingShardServer":
+        """Build a shard node from a :class:`~repro.model.dlrm.DLRM`'s
+        tables.  With a controller, each table uses the adaptive per-table
+        codec and effective error bound at ``iteration`` — the serving tier
+        inherits the dual-level adaptive configuration wholesale."""
+        table_ids = [int(t) for t in table_ids]
+        values = {
+            t: np.ascontiguousarray(model.tables[t].weight.data, dtype=np.float32)
+            for t in table_ids
+        }
+        if controller is not None:
+            bounds = {t: controller.error_bound(t, iteration) for t in table_ids}
+            names = {t: controller.compressor_name(t) for t in table_ids}
+            return cls(values, bounds, names, rows_per_block)
+        return cls(values, error_bound, codec, rows_per_block)
+
+    # -------------------------------------------------------------- queries
+
+    def table_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._tables))
+
+    def has_table(self, table_id: int) -> bool:
+        return int(table_id) in self._tables
+
+    def _table(self, table_id: int) -> _CompressedTable:
+        try:
+            return self._tables[int(table_id)]
+        except KeyError:
+            raise KeyError(
+                f"table {table_id} is not sharded here; this node owns {self.table_ids()}"
+            ) from None
+
+    def pull(self, table_id: int, row_ids: np.ndarray) -> ShardPull:
+        """Row-granular read: decode only the blocks the rows live in."""
+        return self._table(table_id).pull(row_ids)
+
+    def lookup_rows(self, table_id: int, row_ids: np.ndarray) -> np.ndarray:
+        """The rows alone (see :meth:`pull` for the cost accounting)."""
+        return self.pull(table_id, row_ids).rows
+
+    def table_array(self, table_id: int) -> np.ndarray:
+        """Full decode of one table (tests / delta application)."""
+        return self._table(table_id).decode_all()
+
+    def error_bound(self, table_id: int) -> float:
+        return self._table(table_id).error_bound
+
+    def codec(self, table_id: int) -> str:
+        return self._table(table_id).codec_name
+
+    def rows_per_block(self, table_id: int) -> int:
+        return self._table(table_id).rows_per_block
+
+    # -------------------------------------------------------------- updates
+
+    def set_table(self, table_id: int, values: np.ndarray) -> int:
+        """Replace one table's contents (recompressing every block from the
+        given exact values — deltas must not compound storage error across
+        publications).  Returns the new compressed size."""
+        table = self._table(table_id)
+        values = np.ascontiguousarray(values, dtype=np.float32)
+        if values.shape != (table.cardinality, table.dim):
+            raise ValueError(
+                f"table {table_id}: expected shape {(table.cardinality, table.dim)}, "
+                f"got {values.shape}"
+            )
+        table._recompress(values)
+        return table.compressed_nbytes
+
+    # ----------------------------------------------------------- accounting
+
+    def compressed_nbytes(self, table_id: int | None = None) -> int:
+        if table_id is not None:
+            return self._table(table_id).compressed_nbytes
+        return sum(t.compressed_nbytes for t in self._tables.values())
+
+    def raw_nbytes(self, table_id: int | None = None) -> int:
+        if table_id is not None:
+            return self._table(table_id).raw_nbytes
+        return sum(t.raw_nbytes for t in self._tables.values())
+
+    def compression_ratio(self) -> float:
+        return self.raw_nbytes() / max(1, self.compressed_nbytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingShardServer(tables={len(self._tables)}, "
+            f"ratio={self.compression_ratio():.2f}x)"
+        )

@@ -1,0 +1,284 @@
+"""Discrete-event serving simulation over the training tier's fabrics.
+
+:class:`ServingSimulator` prices what a DLRM inference fleet actually
+pays per request: the embedding *fan-out*.  Each request needs one row
+from every table; cache hits are local, and every miss is a row-granular
+pull from the owning :class:`~repro.serve.shard_server.EmbeddingShardServer`
+— a message across the same :class:`~repro.dist.network.Topology` fabrics
+(NVLink/PCIe/IB presets) the cluster simulator prices for training, plus a
+decompression kernel on the replica priced with the training tier's
+:class:`~repro.dist.gpu.GpuModel` and per-codec
+:class:`~repro.adaptive.selection.DeviceThroughputProfile`.
+
+The queueing model is deliberately simple and honest: replicas are
+single-server FIFO queues under open-loop arrivals (requests are routed
+round-robin), so offered load beyond a replica's service rate shows up as
+unbounded queueing delay — the p99 cliff real serving tiers fall off.
+Pulls to distinct shard nodes fan out concurrently while pulls sharing
+one shard-to-replica link serialize on it (the wire cost of a request is
+its busiest link); decode kernels serialize on the replica's device.
+
+Everything here is deterministic for a fixed request trace and
+configuration — the property the serving tests pin — and replica/shard
+placement maps onto fabric ranks (replicas first, shard nodes after), so
+a 2-node hierarchy with replicas on node 0 and shards on node 1 prices
+every miss across the inter-node link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.adaptive.selection import PAPER_A100_PROFILE, DeviceThroughputProfile
+from repro.dist.gpu import A100_LIKE, GpuModel
+from repro.dist.network import NetworkModel
+from repro.model.config import DLRMConfig
+from repro.nn.interaction import DotInteraction
+from repro.serve.loadgen import Request
+from repro.serve.replica import InferenceReplica
+
+__all__ = ["ServingReport", "ServingSimulator"]
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one simulated serving run."""
+
+    n_requests: int
+    n_replicas: int
+    cache_rows: int
+    offered_qps: float
+    sustained_qps: float
+    p50_latency: float
+    p99_latency: float
+    mean_latency: float
+    max_latency: float
+    cache_hit_rate: float
+    hits: int
+    misses: int
+    mean_fanout: float
+    blocks_pulled: int
+    pulled_compressed_nbytes: int
+    pulled_raw_nbytes: int
+    makespan: float
+    replica_busy_seconds: tuple[float, ...]
+    replica_requests: tuple[int, ...]
+
+    @property
+    def mean_replica_utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return float(np.mean(self.replica_busy_seconds)) / self.makespan
+
+    def row(self) -> str:
+        """One formatted report line (benchmark tables)."""
+        return (
+            f"qps={self.sustained_qps:9.1f}  p50={self.p50_latency * 1e3:7.3f}ms  "
+            f"p99={self.p99_latency * 1e3:7.3f}ms  hit={self.cache_hit_rate:6.1%}  "
+            f"fanout={self.mean_fanout:4.1f}  pulled={self.pulled_compressed_nbytes / 1e6:8.3f}MB"
+        )
+
+
+class ServingSimulator:
+    """Price an inference fleet: replicas + compressed shards on a fabric.
+
+    Parameters
+    ----------
+    replicas:
+        The serving replicas (their ``servers``/``sharding`` define the
+        shard tier).  All replicas must share one server set.
+    config:
+        Model architecture — prices the per-request inference compute
+        (bottom MLP, dot interaction, top MLP at batch 1).
+    network:
+        Fabric pricing.  With a topology, replica ``i`` occupies rank
+        ``i`` and shard node ``s`` occupies rank ``n_replicas + s``; a
+        pull from shard ``s`` to replica ``i`` pays that ordered pair's
+        link.  Without one, every pull pays the flat point-to-point cost.
+    gpu / profile:
+        Device cost model and per-codec decode throughputs.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[InferenceReplica],
+        config: DLRMConfig,
+        network: NetworkModel | None = None,
+        gpu: GpuModel = A100_LIKE,
+        profile: DeviceThroughputProfile = PAPER_A100_PROFILE,
+    ):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        first = replicas[0]
+        for replica in replicas:
+            same_servers = len(replica.servers) == len(first.servers) and all(
+                a is b for a, b in zip(replica.servers, first.servers)
+            )
+            if not same_servers or replica.sharding != first.sharding:
+                raise ValueError("all replicas must share one shard-server tier")
+        self.replicas = tuple(replicas)
+        self.config = config
+        self.network = network if network is not None else NetworkModel()
+        self.gpu = gpu
+        self.profile = profile
+        self.n_replicas = len(self.replicas)
+        self.n_shards = first.sharding.n_ranks
+        total_ranks = self.n_replicas + self.n_shards
+        if (
+            self.network.topology is not None
+            and self.network.topology.n_ranks < total_ranks
+        ):
+            raise ValueError(
+                f"fabric spans {self.network.topology.n_ranks} ranks but the "
+                f"serving tier needs {total_ranks} "
+                f"({self.n_replicas} replicas + {self.n_shards} shard nodes)"
+            )
+        # Per-request inference compute is configuration-constant: price
+        # it once.  Batch-1 MLPs are launch-overhead bound, exactly the
+        # regime the GpuModel's fixed-overhead term models.
+        bottom_sizes = (config.n_dense, *config.bottom_hidden, config.embedding_dim)
+        interaction = DotInteraction(config.interaction_features, config.embedding_dim)
+        top_sizes = (interaction.output_dim, *config.top_hidden, 1)
+        self._inference_seconds = (
+            gpu.mlp_time(1, bottom_sizes)
+            + gpu.interaction_time(1, config.interaction_features, config.embedding_dim)
+            + gpu.mlp_time(1, top_sizes)
+            + gpu.lookup_time(1, config.embedding_dim, config.n_tables)
+        )
+
+    # -------------------------------------------------------------- pricing
+
+    def _pull_wire_seconds(self, replica_index: int, shard_rank: int, nbytes: int) -> float:
+        """One shard pull's wire time, over the fabric's (shard -> replica)
+        link when a topology is present."""
+        topology = self.network.topology
+        if topology is None:
+            return self.network.point_to_point_time(nbytes)
+        src = self.n_replicas + shard_rank
+        dst = replica_index
+        return float(
+            topology.latency_matrix[src, dst]
+            + nbytes / topology.bandwidth_matrix[src, dst]
+        )
+
+    def service_seconds(self, replica_index: int, request: Request) -> tuple[float, "GatherStats"]:
+        """Price one request on one replica; returns (seconds, stats)."""
+        replica = self.replicas[replica_index]
+        result = replica.gather(request.sparse)
+        # Fan-out: pulls to *distinct* shard nodes travel concurrently,
+        # but pulls sharing one shard->replica link serialize on it (one
+        # message per table pull) — the wire cost is the busiest link.
+        # Decode kernels then serialize on the replica's device.
+        wire_per_shard: dict[int, float] = {}
+        decode = 0.0
+        for pull, shard_rank in zip(result.pulls, result.pull_ranks):
+            wire_per_shard[shard_rank] = wire_per_shard.get(
+                shard_rank, 0.0
+            ) + self._pull_wire_seconds(replica_index, shard_rank, pull.compressed_nbytes)
+            decode += self.gpu.throughput_kernel_time(
+                pull.raw_nbytes, self.profile.for_codec(pull.codec).decompress
+            )
+        wire = max(wire_per_shard.values(), default=0.0)
+        seconds = wire + decode + self._inference_seconds
+        return seconds, GatherStats(
+            hits=result.hits,
+            misses=result.misses,
+            fanout=result.fanout,
+            blocks=sum(p.blocks_touched for p in result.pulls),
+            compressed_nbytes=result.pulled_compressed_nbytes,
+            raw_nbytes=result.pulled_raw_nbytes,
+        )
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        replica_available_at: Sequence[float] | float = 0.0,
+    ) -> ServingReport:
+        """Serve an open-loop trace; requests route round-robin.
+
+        ``replica_available_at`` marks replicas busy until a given time
+        (e.g. while applying a delta publication) — arrivals during the
+        window queue behind it, which is how publication bandwidth turns
+        into visible tail latency.
+        """
+        if not requests:
+            raise ValueError("need at least one request")
+        # FIFO queueing needs arrival order; merged traces (e.g. two
+        # traffic classes) arrive interleaved, so sort rather than assume.
+        requests = sorted(requests, key=lambda r: r.arrival_seconds)
+        if np.isscalar(replica_available_at):
+            free = [float(replica_available_at)] * self.n_replicas
+        else:
+            free = [float(t) for t in replica_available_at]
+            if len(free) != self.n_replicas:
+                raise ValueError(
+                    f"replica_available_at must have {self.n_replicas} entries, "
+                    f"got {len(free)}"
+                )
+        busy = [0.0] * self.n_replicas
+        counts = [0] * self.n_replicas
+        latencies = np.empty(len(requests), dtype=np.float64)
+        hits = misses = blocks = 0
+        compressed_nbytes = raw_nbytes = 0
+        fanouts = np.empty(len(requests), dtype=np.float64)
+        first_arrival = min(r.arrival_seconds for r in requests)
+        last_completion = 0.0
+        for i, request in enumerate(requests):
+            replica_index = i % self.n_replicas
+            seconds, stats = self.service_seconds(replica_index, request)
+            start = max(request.arrival_seconds, free[replica_index])
+            completion = start + seconds
+            free[replica_index] = completion
+            busy[replica_index] += seconds
+            counts[replica_index] += 1
+            latencies[i] = completion - request.arrival_seconds
+            last_completion = max(last_completion, completion)
+            hits += stats.hits
+            misses += stats.misses
+            blocks += stats.blocks
+            compressed_nbytes += stats.compressed_nbytes
+            raw_nbytes += stats.raw_nbytes
+            fanouts[i] = stats.fanout
+        makespan = last_completion - first_arrival
+        total_lookups = hits + misses
+        return ServingReport(
+            n_requests=len(requests),
+            n_replicas=self.n_replicas,
+            cache_rows=self.replicas[0].cache_rows,
+            offered_qps=(len(requests) - 1) / max(
+                1e-12,
+                max(r.arrival_seconds for r in requests) - first_arrival,
+            ),
+            sustained_qps=len(requests) / max(1e-12, makespan),
+            p50_latency=float(np.percentile(latencies, 50)),
+            p99_latency=float(np.percentile(latencies, 99)),
+            mean_latency=float(latencies.mean()),
+            max_latency=float(latencies.max()),
+            cache_hit_rate=hits / total_lookups if total_lookups else 0.0,
+            hits=hits,
+            misses=misses,
+            mean_fanout=float(fanouts.mean()),
+            blocks_pulled=blocks,
+            pulled_compressed_nbytes=compressed_nbytes,
+            pulled_raw_nbytes=raw_nbytes,
+            makespan=makespan,
+            replica_busy_seconds=tuple(busy),
+            replica_requests=tuple(counts),
+        )
+
+
+@dataclass(frozen=True)
+class GatherStats:
+    """Per-request gather accounting (internal to the simulator)."""
+
+    hits: int
+    misses: int
+    fanout: int
+    blocks: int
+    compressed_nbytes: int
+    raw_nbytes: int

@@ -111,6 +111,10 @@ class HybridParallelTrainer:
                 f"overlap must be False, True, or 'cross_stage', got {overlap!r}"
             )
         check_positive("pipeline_chunks", pipeline_chunks)
+        if int(pipeline_chunks) != pipeline_chunks:
+            raise ValueError(
+                f"pipeline_chunks must be an integer, got {pipeline_chunks!r}"
+            )
         self.model = model
         self.dataset = dataset
         self.simulator = simulator

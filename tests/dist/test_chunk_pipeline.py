@@ -164,6 +164,62 @@ class TestChunkEvents:
         for a, b in zip(wire, wire[1:]):
             assert b.start >= a.end - 1e-15
 
+    def test_wire_chunk_durations_match_actual_byte_shares(self):
+        """Sequence payloads: each chunk's wire time is its group's actual
+        byte share of the collective, not an even ``payload_seconds / k``
+        split (self-destined slices carry zero wire bytes)."""
+        network = NetworkModel(bandwidth=1e9, latency=0.0)
+        n, k = 2, 3
+        sim = ClusterSimulator(n, network=network)
+        # Rank 0 posts three off-diagonal slices of very different sizes
+        # (plus a self slice that must price as zero wire bytes).
+        rank0_to_1 = [b"a" * 60_000, b"b" * 30_000, b"c" * 10_000]
+        sendbufs = [
+            [[b"s" * 5_000], rank0_to_1],
+            [[b"d" * 50_000, b"e" * 25_000, b"f" * 25_000], [b"t" * 5_000]],
+        ]
+        sim.comm.compressed_all_to_all(
+            sendbufs,
+            metadata_bytes_per_entry=METADATA_BYTES,
+            overlap=True,
+            chunks_per_rank=k,
+        )
+        payload_seconds = network.all_to_all_time(
+            np.array([[5_000, 100_000], [100_000, 5_000]])
+        )
+        for rank, row_sizes in ((0, [0, 60_000, 30_000, 10_000]), (1, [50_000, 25_000, 25_000, 0])):
+            wire = sorted(
+                (
+                    e
+                    for e in sim.timeline.events_for_rank(rank)
+                    if e.category == EventCategory.ALLTOALL_FWD
+                ),
+                key=lambda e: e.args["chunk"],
+            )
+            # 4 atomic parts into 3 chunks: groups of 2, 1, 1 parts.
+            groups = [row_sizes[0] + row_sizes[1], row_sizes[2], row_sizes[3]]
+            total = sum(groups)
+            assert [e.duration for e in wire] == pytest.approx(
+                [payload_seconds * g / total for g in groups]
+            )
+            assert sum(e.duration for e in wire) == pytest.approx(payload_seconds)
+
+    def test_single_buffer_rows_price_equal_chunks(self):
+        """An indivisible buffer splits into equal-byte chunks — the k
+        slices of one buffer genuinely are even shares."""
+        sim = _run(
+            NetworkModel(bandwidth=1e9, latency=1e-6),
+            [0.0, 0.0],
+            [0.0, 0.0],
+            np.full((2, 2), 30_000),
+            3,
+        )
+        durations = {
+            e.duration
+            for e in sim.timeline.events_in_category(EventCategory.ALLTOALL_FWD)
+        }
+        assert len(durations) == 1  # every chunk identical
+
     def test_scalar_chunks_per_rank_accepted(self):
         sim = _run(
             NetworkModel(bandwidth=1e9, latency=1e-6),
@@ -240,3 +296,82 @@ class TestTimingLaws:
         makespan = _run(network, compress, decompress, sizes, k).makespan()
         slack = 4.0 * (compress[0] + wire + decompress[0] + meta) / k
         assert floor - 1e-12 <= makespan <= floor + slack
+
+
+def _run_split(network, compress, decompress, sizes, chunks, seed, *, overlap=True):
+    """Like :func:`_run`, but every pair's payload is posted as a sequence
+    of unevenly-sized per-slice buffers — the trainer's batch shape, which
+    exercises the actual-byte-share chunk pricing."""
+    n = len(compress)
+    rng = np.random.default_rng(seed)
+    sendbufs = []
+    for src in range(n):
+        row = []
+        for dst in range(n):
+            nbytes = int(sizes[src][dst])
+            n_parts = int(rng.integers(1, 5))
+            cuts = np.sort(rng.integers(0, nbytes + 1, size=n_parts - 1))
+            bounds = [0, *cuts.tolist(), nbytes]
+            row.append([b"x" * (bounds[i + 1] - bounds[i]) for i in range(n_parts)])
+        sendbufs.append(row)
+    sim = ClusterSimulator(n, network=network)
+    sim.comm.compressed_all_to_all(
+        sendbufs,
+        metadata_bytes_per_entry=METADATA_BYTES,
+        overlap=overlap,
+        compress_seconds=compress,
+        decompress_seconds=decompress,
+        chunks_per_rank=chunks,
+    )
+    return sim
+
+
+class TestVariableChunkPricingLaws:
+    """The even-split laws that survive actual-byte-share pricing, over
+    sequence-structured payloads: the per-rank wire total is unchanged, so
+    the sequential/analytic bounds, the floor, and the k=1 degeneracy all
+    still hold (chunk-count monotonicity is an even-split law and keeps its
+    single-buffer harness above)."""
+
+    @given(fabric_and_ranks(), st.integers(1, 12), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_sequential_and_analytic_k1(self, fabric, k, seed):
+        network, n = fabric
+        compress, decompress, sizes = _workload(n, seed)
+        chunked = _run_split(network, compress, decompress, sizes, k, seed)
+        sequential = _run_split(
+            network, compress, decompress, sizes, k, seed, overlap=False
+        )
+        analytic = _analytic_k1(network, compress, decompress, sizes)
+        assert chunked.makespan() <= sequential.makespan() + 1e-12
+        assert chunked.makespan() <= analytic + 1e-12
+
+    @given(fabric_and_ranks(), st.integers(1, 16), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_floor_and_wire_conservation(self, fabric, k, seed):
+        network, n = fabric
+        compress, decompress, sizes = _workload(n, seed)
+        sim = _run_split(network, compress, decompress, sizes, k, seed)
+        meta = network.uniform_all_to_all_time(METADATA_BYTES, n)
+        wire = network.all_to_all_time(np.asarray(sizes, dtype=np.float64))
+        floor = max(
+            max(c + d for c, d in zip(compress, decompress)), meta + wire
+        )
+        assert sim.makespan() >= floor - 1e-12
+        for rank in range(n):
+            rank_wire = sum(
+                e.duration
+                for e in sim.timeline.events_for_rank(rank)
+                if e.category == EventCategory.ALLTOALL_FWD
+            )
+            assert rank_wire == pytest.approx(wire, rel=1e-9, abs=1e-15)
+
+    @given(fabric_and_ranks(), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_k1_degenerates_to_analytic_model(self, fabric, seed):
+        network, n = fabric
+        compress, decompress, sizes = _workload(n, seed)
+        run = _run_split(network, compress, decompress, sizes, 1, seed)
+        assert run.makespan() == pytest.approx(
+            _analytic_k1(network, compress, decompress, sizes), rel=1e-12, abs=1e-15
+        )

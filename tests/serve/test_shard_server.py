@@ -1,0 +1,142 @@
+"""EmbeddingShardServer: row-granular decode over compressed shards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import DLRM, DLRMConfig
+from repro.serve import EmbeddingShardServer
+
+
+def make_table(rows=200, dim=16, seed=0, scale=0.1):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, scale, size=(rows, dim)).astype(np.float32)
+
+
+class TestRowGranularLookups:
+    def test_lookup_matches_full_decode(self):
+        table = make_table()
+        server = EmbeddingShardServer({0: table}, error_bounds=1e-2, rows_per_block=32)
+        ids = np.array([0, 5, 31, 32, 63, 64, 199, 5])
+        rows = server.lookup_rows(0, ids)
+        assert rows.shape == (ids.size, 16)
+        full = server.table_array(0)
+        np.testing.assert_array_equal(rows, full[ids])
+
+    def test_lookup_within_error_bound(self):
+        table = make_table()
+        bound = 5e-3
+        server = EmbeddingShardServer({0: table}, error_bounds=bound)
+        ids = np.arange(200)
+        rows = server.lookup_rows(0, ids)
+        assert np.max(np.abs(rows - table)) <= bound * (1 + 1e-6)
+
+    def test_error_bound_zero_is_bit_identical_to_raw(self):
+        """The satellite contract: at bound 0 the shard stores losslessly,
+        so compressed lookups equal the raw rows bit for bit."""
+        table = make_table(rows=150, dim=8)
+        server = EmbeddingShardServer({0: table}, error_bounds=0.0, rows_per_block=37)
+        ids = np.array([0, 1, 36, 37, 74, 149, 0])
+        np.testing.assert_array_equal(server.lookup_rows(0, ids), table[ids])
+        assert server.codec(0) == "lz4_like"
+        np.testing.assert_array_equal(server.table_array(0), table)
+
+    def test_pull_accounts_touched_blocks_only(self):
+        table = make_table(rows=256)
+        server = EmbeddingShardServer({0: table}, rows_per_block=64)
+        pull = server.pull(0, np.array([0, 1, 2, 70]))  # blocks 0 and 1
+        assert pull.blocks_touched == 2
+        assert 0 < pull.compressed_nbytes < server.compressed_nbytes(0)
+        assert pull.raw_nbytes == 2 * 64 * 16 * 4
+        whole = server.pull(0, np.arange(256))
+        assert whole.blocks_touched == 4
+        assert whole.compressed_nbytes == server.compressed_nbytes(0)
+
+    def test_partial_last_block(self):
+        table = make_table(rows=100)
+        server = EmbeddingShardServer({0: table}, error_bounds=0.0, rows_per_block=64)
+        pull = server.pull(0, np.array([99]))
+        assert pull.blocks_touched == 1
+        assert pull.raw_nbytes == 36 * 16 * 4  # last block holds 36 rows
+        np.testing.assert_array_equal(pull.rows[0], table[99])
+
+    def test_empty_pull(self):
+        server = EmbeddingShardServer({0: make_table()})
+        pull = server.pull(0, np.array([], dtype=np.int64))
+        assert pull.n_rows == 0 and pull.blocks_touched == 0
+        assert pull.compressed_nbytes == 0
+
+
+class TestCompressionAccounting:
+    def test_compressible_table_shrinks(self):
+        # Concentrated values quantize to few symbols -> real compression.
+        server = EmbeddingShardServer({0: make_table(scale=0.02)}, error_bounds=1e-2)
+        assert server.compressed_nbytes() < server.raw_nbytes()
+        assert server.compression_ratio() > 1.5
+
+    def test_per_table_bounds_and_codecs(self):
+        tables = {0: make_table(seed=1), 3: make_table(seed=2)}
+        server = EmbeddingShardServer(
+            tables,
+            error_bounds={0: 1e-2, 3: 0.0},
+            codecs={0: "vector_lz", 3: "entropy"},
+        )
+        assert server.codec(0) == "vector_lz"
+        assert server.codec(3) == "lz4_like"  # bound 0 forces lossless
+        assert server.error_bound(0) == 1e-2
+        assert server.table_ids() == (0, 3)
+
+    def test_from_model_with_controller(self):
+        from repro.adaptive import AdaptiveController, OfflineAnalyzer
+
+        config = DLRMConfig(
+            n_dense=4, table_cardinalities=(120, 90), embedding_dim=8, seed=3
+        )
+        model = DLRM(config)
+        samples = {
+            t: model.lookup(t, np.arange(60) % config.table_cardinalities[t])
+            for t in range(2)
+        }
+        controller = AdaptiveController(OfflineAnalyzer().analyze(samples))
+        server = EmbeddingShardServer.from_model(model, [0, 1], controller)
+        for t in range(2):
+            assert server.codec(t) == controller.compressor_name(t)
+            assert server.error_bound(t) == controller.error_bound(t, 0)
+            stored = server.table_array(t)
+            raw = model.tables[t].weight.data.astype(np.float32)
+            assert np.max(np.abs(stored - raw)) <= server.error_bound(t) * (1 + 1e-6)
+
+
+class TestUpdates:
+    def test_set_table_replaces_contents(self):
+        table = make_table()
+        server = EmbeddingShardServer({0: table}, error_bounds=0.0)
+        new = table + 1.0
+        server.set_table(0, new)
+        np.testing.assert_array_equal(server.table_array(0), new)
+
+    def test_set_table_shape_mismatch(self):
+        server = EmbeddingShardServer({0: make_table()})
+        with pytest.raises(ValueError, match="expected shape"):
+            server.set_table(0, np.zeros((3, 3), dtype=np.float32))
+
+
+class TestValidation:
+    def test_unknown_table(self):
+        server = EmbeddingShardServer({2: make_table()})
+        with pytest.raises(KeyError, match="not sharded here"):
+            server.pull(0, np.array([0]))
+
+    def test_out_of_range_rows(self):
+        server = EmbeddingShardServer({0: make_table(rows=10)})
+        with pytest.raises(IndexError):
+            server.pull(0, np.array([10]))
+
+    def test_needs_tables(self):
+        with pytest.raises(ValueError, match="at least one table"):
+            EmbeddingShardServer({})
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match="error_bound"):
+            EmbeddingShardServer({0: make_table()}, error_bounds=-1.0)
