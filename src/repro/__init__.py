@@ -17,6 +17,9 @@ Public API tour:
   publication from the trainer.
 * :mod:`repro.analysis` / :mod:`repro.profiling` — data-feature analysis
   and training-time breakdowns.
+* :mod:`repro.obs` — unified observability: metrics registry with
+  mergeable snapshots, span annotations on the simulation timeline,
+  unified chrome traces, and JSON/Prometheus/report exporters.
 """
 
 __version__ = "1.0.0"
@@ -32,6 +35,7 @@ from repro.compression import HybridCompressor, get_compressor
 from repro.data import CRITEO_KAGGLE, CRITEO_TERABYTE, SyntheticClickDataset, scaled_spec
 from repro.dist import ClusterSimulator
 from repro.model import DLRM, DLRMConfig
+from repro.obs import MetricsRegistry
 from repro.serve import (
     DeltaPublisher,
     EmbeddingShardServer,
@@ -67,4 +71,5 @@ __all__ = [
     "ServingSimulator",
     "DeltaPublisher",
     "build_serving_tier",
+    "MetricsRegistry",
 ]

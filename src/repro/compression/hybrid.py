@@ -30,6 +30,7 @@ from repro.compression.base import Compressor, parse_payload
 from repro.compression.cache import EncoderPinCache, TableCodebookCache
 from repro.compression.entropy import EntropyCompressor
 from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
+from repro.obs.runtime import OBS
 
 __all__ = ["HybridCompressor"]
 
@@ -85,17 +86,30 @@ class HybridCompressor(Compressor):
         if self.pins is None or table_key is None:
             return self._compress_auto(table_key, array, error_bound)
         pinned = self.pins.pinned(table_key)
-        if pinned == "lz":
-            return self._lz.compress(array, error_bound)
-        if pinned == "huffman":
+        if pinned is not None:
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "hybrid_pin_replay_total", "pinned-encoder replays (trial skipped)"
+                ).inc(1, encoder=pinned)
+            if pinned == "lz":
+                return self._lz.compress(array, error_bound)
             return self._entropy.compress_keyed(table_key, array, error_bound)
+        prior = self.pins.pins.get(table_key)
         lz = self._lz.compress(array, error_bound)
         huff = self._entropy.compress_keyed(table_key, array, error_bound)
-        if len(lz) <= len(huff):
-            self.pins.record_winner(table_key, "lz")
-            return lz
-        self.pins.record_winner(table_key, "huffman")
-        return huff
+        winner = "lz" if len(lz) <= len(huff) else "huffman"
+        self.pins.record_winner(table_key, winner)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter(
+                "hybrid_pin_trial_total", "try-both encoder trials"
+            ).inc(1, encoder=winner)
+            if prior is not None and prior.winner != winner:
+                reg.counter(
+                    "hybrid_pin_switch_total",
+                    "trials whose winner differed from the expiring pin (codec churn)",
+                ).inc(1)
+        return lz if winner == "lz" else huff
 
     def _compress_auto(
         self, table_key: Any, array: np.ndarray, error_bound: float | None
@@ -117,16 +131,31 @@ class HybridCompressor(Compressor):
             candidates.append(self._lz.compress(array, error_bound))
         if self.encoder in ("auto", "huffman"):
             candidates.append(self._entropy.compress(array, error_bound))
-        return min(candidates, key=len)
+        best = min(candidates, key=len)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("hybrid_raw_bytes_total", "hybrid compress input bytes").inc(
+                array.nbytes
+            )
+            reg.counter(
+                "hybrid_compressed_bytes_total", "hybrid compress output bytes"
+            ).inc(len(best))
+        return best
 
     def decompress(self, payload: bytes | memoryview) -> np.ndarray:
         header, _body = parse_payload(payload)
         inner = header["codec"]
         if inner == self._lz.name:
-            return self._lz.decompress(payload)
-        if inner == self._entropy.name:
-            return self._entropy.decompress(payload)
-        raise ValueError(f"hybrid: unknown inner codec {inner!r}")
+            result = self._lz.decompress(payload)
+        elif inner == self._entropy.name:
+            result = self._entropy.decompress(payload)
+        else:
+            raise ValueError(f"hybrid: unknown inner codec {inner!r}")
+        if OBS.enabled:
+            OBS.registry.counter(
+                "hybrid_decompressed_bytes_total", "hybrid decompress output bytes"
+            ).inc(result.nbytes)
+        return result
 
     # The public compress/decompress are overridden wholesale (the payload is
     # delegated to the winning sub-codec), so the body hooks are unused.

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.dist.timeline import COMM_STREAM, COMPUTE_STREAM, EventCategory
+from repro.obs.runtime import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.dist.simulator import ClusterSimulator
@@ -81,6 +82,27 @@ class Communicator:
     @property
     def n_ranks(self) -> int:
         return self.simulator.n_ranks
+
+    # ------------------------------------------------------ observability
+
+    @staticmethod
+    def _obs_stage(stage: str, seconds: float, nbytes: int | None = None) -> None:
+        """Record one stage's charged wire/device seconds (summed over the
+        ranks that pay them) and, when known, its bytes on the wire."""
+        reg = OBS.registry
+        reg.counter(
+            "comm_seconds_total",
+            "charged seconds per exchange stage, summed over ranks",
+        ).inc(seconds, stage=stage)
+        if nbytes is not None:
+            reg.counter(
+                "comm_bytes_total", "bytes on the wire per exchange stage"
+            ).inc(nbytes, stage=stage)
+
+    @staticmethod
+    def _wire_nbytes(byte_matrix: np.ndarray) -> int:
+        """Off-diagonal byte total — self-destined slices never hit the wire."""
+        return int(byte_matrix.sum() - np.trace(byte_matrix))
 
     def _check_square(self, sendbufs: Sequence[Sequence[object]]) -> None:
         n = self.n_ranks
@@ -133,9 +155,11 @@ class Communicator:
         """
         self._check_square(sendbufs)
         n = self.n_ranks
-        self.simulator.collective(
-            self.simulator.network.all_to_all_time(self._byte_matrix(sendbufs)), category
-        )
+        matrix = self._byte_matrix(sendbufs)
+        seconds = self.simulator.network.all_to_all_time(matrix)
+        self.simulator.collective(seconds, category)
+        if OBS.enabled:
+            self._obs_stage("payload", seconds * n, self._wire_nbytes(matrix))
         return [[sendbufs[src][dst] for src in range(n)] for dst in range(n)]
 
     def all_to_all_bytes(
@@ -164,6 +188,8 @@ class Communicator:
                 f"byte matrix shape {matrix.shape} does not match {n} ranks"
             )
         seconds = self.simulator.network.all_to_all_time(matrix)
+        if OBS.enabled:
+            self._obs_stage("payload", seconds * n, self._wire_nbytes(matrix))
         if overlap_compute_seconds is None:
             return self.simulator.collective(seconds, category)
         overlap_compute = self._per_rank_seconds(
@@ -295,6 +321,27 @@ class Communicator:
             if overlap_compute_seconds is None
             else self._per_rank_seconds(overlap_compute_seconds, "overlap_compute_seconds")
         )
+
+        if OBS.enabled:
+            self._obs_stage("compress", sum(compress))
+            if not skip_metadata:
+                if np.isscalar(entries_per_pair):
+                    meta_bytes = int(
+                        metadata_bytes_per_entry * entries_per_pair * n * (n - 1)
+                    )
+                else:
+                    meta_bytes = int(
+                        metadata_bytes_per_entry
+                        * self._wire_nbytes(np.asarray(entries_per_pair))
+                    )
+                self._obs_stage("metadata", meta_seconds * n, meta_bytes)
+            self._obs_stage(
+                "payload", payload_seconds * n, self._wire_nbytes(byte_matrix)
+            )
+            self._obs_stage("decompress", sum(decompress))
+            OBS.registry.counter(
+                "comm_exchanges_total", "compressed all-to-all exchanges"
+            ).inc(1, mode="overlapped" if overlap else "sequential")
 
         if not overlap:
             for rank in range(n):
@@ -432,6 +479,7 @@ class Communicator:
         """
         sim = self.simulator
         n = self.n_ranks
+        obs_on = OBS.enabled
         eid = self._exchange_counter
         self._exchange_counter += 1
         starts = [sim.sync(rank) for rank in range(n)]
@@ -500,10 +548,11 @@ class Communicator:
 
         # Cross-stage hook: rank-local compute issued right after the
         # compression kernels, so the wire (and decode stalls) hide it.
+        oc_ends: list[float | None] = [None] * n
         if overlap_compute is not None:
             for rank in range(n):
                 if overlap_compute[rank] > 0.0:
-                    sim.stream_compute(
+                    oc_ends[rank] = sim.stream_compute(
                         rank,
                         overlap_compute[rank],
                         overlap_compute_category,
@@ -515,6 +564,7 @@ class Communicator:
         # Decode chunks split evenly: a receiver's chunk j holds slices
         # from *every* sender, and the sender-side byte shares don't
         # determine the per-receiver split.
+        dec_intervals: list[list[tuple[float, float]]] = [[] for _ in range(n)]
         for rank in range(n):
             k = chunks[rank]
             if decompress[rank] > 0.0:
@@ -529,7 +579,7 @@ class Communicator:
                         ]
                         for src in range(n)
                     )
-                    sim.stream_compute(
+                    dec_end = sim.stream_compute(
                         rank,
                         per_chunk,
                         decompress_category,
@@ -537,9 +587,81 @@ class Communicator:
                         not_before=arrival,
                         args={"exchange": eid, "chunk": j, "chunks": k},
                     )
+                    if obs_on:
+                        dec_intervals[rank].append((dec_end - per_chunk, dec_end))
+        if obs_on:
+            self._obs_overlap_accounting(
+                payload_seconds,
+                compress,
+                overlap_compute,
+                chunks,
+                wire_fractions,
+                comp_ends,
+                wire_ends,
+                oc_ends,
+                dec_intervals,
+            )
         # The exchange hands decoded data back at a device-wide barrier.
         for rank in range(n):
             sim.sync(rank)
+
+    def _obs_overlap_accounting(
+        self,
+        payload_seconds: float,
+        compress: list[float],
+        overlap_compute: list[float] | None,
+        chunks: list[int],
+        wire_fractions: list[list[float]] | None,
+        comp_ends: list[list[float]],
+        wire_ends: list[list[float]],
+        oc_ends: list[float | None],
+        dec_intervals: list[list[tuple[float, float]]],
+    ) -> None:
+        """Per-exchange stall-vs-hidden wire accounting (obs-enabled only).
+
+        ``stall`` is wire-port idle time between consecutive chunk events
+        (the wire waiting on compression); ``hidden`` is the chunked wire
+        time that ran while this exchange kept the rank's compute stream
+        busy — the same definitions ``chunk_pipeline_report`` applies to
+        the whole timeline, charged here as running counters.
+        """
+        from repro.profiling.breakdown import _merge_intervals, _overlap_with_merged
+
+        stall = 0.0
+        hidden = 0.0
+        for rank in range(len(chunks)):
+            k = chunks[rank]
+            shares = (
+                wire_fractions[rank] if wire_fractions is not None else [1.0 / k] * k
+            )
+            wire_iv = [
+                (wire_ends[rank][j] - payload_seconds * shares[j], wire_ends[rank][j])
+                for j in range(k)
+            ]
+            stall += sum(
+                max(0.0, wire_iv[j][0] - wire_iv[j - 1][1]) for j in range(1, k)
+            )
+            compute_iv = list(dec_intervals[rank])
+            if compress[rank] > 0.0:
+                compute_iv.extend(
+                    (comp_ends[rank][j] - compress[rank] * shares[j], comp_ends[rank][j])
+                    for j in range(k)
+                )
+            if oc_ends[rank] is not None and overlap_compute is not None:
+                compute_iv.append(
+                    (oc_ends[rank] - overlap_compute[rank], oc_ends[rank])
+                )
+            merged = _merge_intervals(compute_iv)
+            hidden += sum(_overlap_with_merged(iv, merged) for iv in wire_iv)
+        reg = OBS.registry
+        reg.counter(
+            "comm_wire_stall_seconds_total",
+            "wire idle between chunks of pipelined exchanges (waiting on compression)",
+        ).inc(stall)
+        reg.counter(
+            "comm_wire_hidden_seconds_total",
+            "chunked wire seconds overlapped by same-rank compute",
+        ).inc(hidden)
 
     # --------------------------------------------------------- all-reduce
 
@@ -566,9 +688,12 @@ class Communicator:
         total = arrays[0].copy()
         for contribution in arrays[1:]:
             total += contribution
-        self.simulator.collective(
-            self.simulator.network.all_reduce_time(total.nbytes, self.n_ranks), category
-        )
+        seconds = self.simulator.network.all_reduce_time(total.nbytes, self.n_ranks)
+        self.simulator.collective(seconds, category)
+        if OBS.enabled:
+            self._obs_stage(
+                "allreduce", seconds * self.n_ranks, int(total.nbytes) * self.n_ranks
+            )
         return [total.copy() for _ in range(self.n_ranks)]
 
     def all_reduce_bytes(
@@ -592,6 +717,10 @@ class Communicator:
             raise ValueError(
                 f"algorithm must be 'ring' or 'hierarchical', got {algorithm!r}"
             )
+        if OBS.enabled:
+            self._obs_stage(
+                "allreduce", seconds * self.n_ranks, int(nbytes) * self.n_ranks
+            )
         return self.simulator.collective(seconds, category)
 
     # ---------------------------------------------------------- broadcast
@@ -606,11 +735,12 @@ class Communicator:
             raise ValueError(f"root must be in [0, {self.n_ranks}), got {root!r}")
         n = self.n_ranks
         if n > 1:
+            nbytes = payload_nbytes(payload)
             rounds = int(np.ceil(np.log2(n)))
-            seconds = rounds * self.simulator.network.point_to_point_time(
-                payload_nbytes(payload)
-            )
+            seconds = rounds * self.simulator.network.point_to_point_time(nbytes)
             self.simulator.collective(seconds, category)
+            if OBS.enabled:
+                self._obs_stage("broadcast", seconds * n, nbytes * rounds)
 
         def deliver() -> object:
             if isinstance(payload, np.ndarray):

@@ -11,7 +11,14 @@ category->seconds mappings and overlap-efficiency reports.
 :class:`EventCategory` enumerates the 15 stages of one hybrid-parallel
 DLRM iteration, in execution order — the forward pass, the 4-stage
 compressed exchange (① compress, ② metadata, ③ payload, ④ decompress),
-the backward pass, and the dense synchronization/update.
+the backward pass, and the dense synchronization/update — plus the
+annotation categories the observability layer records (trainer-step and
+serving-request spans, delta publications) on the dedicated
+``OBS_STREAM`` lane, which time accounting ignores.
+
+Timelines also carry *counter samples* (:class:`CounterSample`) — named
+scalar tracks such as queue depth or bytes on wire — which export as
+chrome-trace ``"C"`` events and render as counter plots above the lanes.
 """
 
 from __future__ import annotations
@@ -22,7 +29,15 @@ from enum import Enum
 from pathlib import Path
 from typing import Mapping
 
-__all__ = ["EventCategory", "TimelineEvent", "Timeline", "COMPUTE_STREAM", "COMM_STREAM"]
+__all__ = [
+    "EventCategory",
+    "TimelineEvent",
+    "CounterSample",
+    "Timeline",
+    "COMPUTE_STREAM",
+    "COMM_STREAM",
+    "OBS_STREAM",
+]
 
 
 class EventCategory(str, Enum):
@@ -43,6 +58,10 @@ class EventCategory(str, Enum):
     BOTTOM_MLP_BWD = "bottom_mlp_bwd"
     ALLREDUCE = "allreduce"
     OPTIMIZER = "optimizer"
+    # annotation categories (observability spans — not simulated work)
+    TRAIN_STEP = "train_step"
+    PUBLISH = "publish"
+    SERVE_REQUEST = "serve_request"
 
     def __str__(self) -> str:  # keep reports/keys readable
         return self.value
@@ -61,6 +80,11 @@ EventCategory.COMMUNICATION = (
 #: default stream names: device kernels vs wire occupancy
 COMPUTE_STREAM = "compute"
 COMM_STREAM = "comm"
+#: annotation lane for observability spans — events here mark *intervals*
+#: (a whole trainer step, one serving request) over work already recorded
+#: on the real streams, so :meth:`Timeline.total_by_category` and the
+#: profiling reports exclude them to avoid double counting.
+OBS_STREAM = "obs"
 
 
 @dataclass(frozen=True, eq=True)
@@ -85,11 +109,26 @@ class TimelineEvent:
         return self.start + self.duration
 
 
+@dataclass(frozen=True, eq=True)
+class CounterSample:
+    """One point on a named counter track (queue depth, bytes on wire).
+
+    Counter tracks are step functions over simulated time: each sample
+    sets the track's value from ``time`` onward.  They export as chrome
+    ``"ph": "C"`` events and render as plots above the event lanes.
+    """
+
+    name: str
+    time: float
+    value: float
+
+
 class Timeline:
     """Append-only per-rank event ledger with category aggregation."""
 
     def __init__(self) -> None:
         self.events: list[TimelineEvent] = []
+        self.counters: list[CounterSample] = []
 
     def __len__(self) -> int:
         return len(self.events)
@@ -121,6 +160,25 @@ class Timeline:
         self.events.append(event)
         return event
 
+    def record_counter(self, name: str, time: float, value: float) -> CounterSample:
+        """Append one sample to the named counter track and return it."""
+        if not name:
+            raise ValueError("counter name must be non-empty")
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time!r}")
+        sample = CounterSample(name=str(name), time=float(time), value=float(value))
+        self.counters.append(sample)
+        return sample
+
+    def counter_track(self, name: str) -> list[CounterSample]:
+        """Samples of one counter track, in time order."""
+        return sorted(
+            (s for s in self.counters if s.name == name), key=lambda s: s.time
+        )
+
+    def counter_names(self) -> list[str]:
+        return sorted({s.name for s in self.counters})
+
     # ------------------------------------------------------------- queries
 
     def events_for_rank(self, rank: int) -> list[TimelineEvent]:
@@ -142,10 +200,16 @@ class Timeline:
         return max(ends, default=0.0)
 
     def total_by_category(self, rank: int | None = None) -> dict[str, float]:
-        """Category -> total seconds, for one rank or summed over all."""
+        """Category -> total seconds, for one rank or summed over all.
+
+        Annotation spans on :data:`OBS_STREAM` cover work already recorded
+        on the real streams, so they are excluded here.
+        """
         totals: dict[str, float] = {}
         for e in self.events:
             if rank is not None and e.rank != rank:
+                continue
+            if e.stream == OBS_STREAM:
                 continue
             totals[e.category] = totals.get(e.category, 0.0) + e.duration
         return totals
@@ -212,10 +276,26 @@ class Timeline:
             if e.args:
                 entry["args"] = dict(e.args)
             trace_events.append(entry)
+        for sample in self.counters:
+            trace_events.append(
+                {
+                    "name": sample.name,
+                    "cat": "obs",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": sample.time * 1e6,
+                    "args": {"value": sample.value},
+                }
+            )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def dump_chrome_trace(self, path: str | Path, *, process_name: str = "cluster-sim") -> Path:
-        """Write :meth:`to_chrome_trace` JSON to ``path`` and return it."""
+        """Write :meth:`to_chrome_trace` JSON to ``path`` and return it.
+
+        Missing parent directories are created.
+        """
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_chrome_trace(process_name=process_name)))
         return path

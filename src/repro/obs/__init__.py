@@ -1,0 +1,88 @@
+"""repro.obs — unified metrics, spans, and run reports.
+
+One substrate for every tier's numbers:
+
+* :class:`MetricsRegistry` — process-wide counters, gauges, and
+  fixed-bucket histograms with label sets and mergeable snapshots.
+* :func:`enable` / :func:`disable` / :func:`capture` — the
+  zero-overhead-when-disabled switch the hot paths guard on.
+* :class:`Tracer` / :class:`Span` — interval annotations recorded onto
+  the simulation :class:`~repro.dist.timeline.Timeline`, so trainer
+  steps, exchange stages, publications, and serving requests land in one
+  chrome trace (see :func:`unified_chrome_trace`) with counter tracks.
+* Exporters — :func:`snapshot_to_json`, :func:`to_prometheus`, and the
+  human :func:`run_report` table.
+
+Only the registry and the runtime switch load eagerly (they are what the
+hot paths import); the span/trace/exporter layers — which pull in
+``repro.dist`` and ``repro.profiling`` — load lazily on first attribute
+access to keep import cycles impossible.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_EXACT_LIMIT,
+    UNIT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    RegistrySnapshot,
+    exponential_buckets,
+    linear_buckets,
+)
+from repro.obs.runtime import OBS, capture, disable, enable, enabled, get_registry
+
+_LAZY_EXPORTS = {
+    "Span": "repro.obs.span",
+    "Tracer": "repro.obs.span",
+    "unified_chrome_trace": "repro.obs.trace",
+    "dump_unified_chrome_trace": "repro.obs.trace",
+    "SNAPSHOT_SCHEMA_ID": "repro.obs.exporters",
+    "snapshot_to_json": "repro.obs.exporters",
+    "snapshot_from_json": "repro.obs.exporters",
+    "to_prometheus": "repro.obs.exporters",
+    "from_prometheus": "repro.obs.exporters",
+    "run_report": "repro.obs.exporters",
+    "validate_snapshot_json": "repro.obs.schema",
+    "SnapshotSchemaError": "repro.obs.schema",
+    "run_day_in_the_life": "repro.obs.scenario",
+    "ScenarioResult": "repro.obs.scenario",
+}
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "UNIT_BUCKETS",
+    "DEFAULT_EXACT_LIMIT",
+    "exponential_buckets",
+    "linear_buckets",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "OBS",
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "capture",
+    *sorted(_LAZY_EXPORTS),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

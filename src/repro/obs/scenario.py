@@ -1,0 +1,167 @@
+"""A day in the life of the system, observed end to end.
+
+:func:`run_day_in_the_life` runs the smallest honest version of the
+paper's full loop — train with compressed exchanges, publish deltas to a
+serving tier, serve a Zipf-skewed request trace — with the observability
+runtime enabled throughout, and returns every artifact the ``repro.obs``
+stack can produce from one run:
+
+* a :class:`~repro.obs.registry.RegistrySnapshot` covering all three
+  tiers (pipeline/comm/train/publish/serve metric families),
+* one *unified* chrome trace (train, publication, and serving timelines
+  as separate process lanes, each with its spans and counter tracks),
+* the human :func:`~repro.obs.exporters.run_report` text.
+
+This is the scenario behind ``examples/obs_day_in_the_life.py`` and the
+CI ``obs-smoke`` job: with ``out_dir`` set it writes ``metrics.json``
+(validated against the snapshot schema), ``metrics.prom``,
+``obs_trace.json``, and ``run_report.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry, RegistrySnapshot
+from repro.obs.runtime import capture, enable
+
+__all__ = ["ScenarioResult", "run_day_in_the_life"]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one observed train→publish→serve run produces."""
+
+    snapshot: RegistrySnapshot
+    trace: dict  # unified chrome trace (traceEvents + metadata)
+    report: str  # human run_report text
+    train_makespan: float
+    publish_wire_nbytes: int
+    serve_p99_latency: float
+    #: paths written when ``out_dir`` was given, keyed by artifact name
+    paths: dict[str, Path]
+
+
+def run_day_in_the_life(
+    *,
+    n_iterations: int = 3,
+    n_requests: int = 200,
+    n_tables: int = 6,
+    cardinality: int = 400,
+    qps: float = 2000.0,
+    out_dir: str | Path | None = None,
+    seed: int = 7,
+) -> ScenarioResult:
+    """Run the observed end-to-end scenario and collect its artifacts.
+
+    The observability runtime is enabled onto a fresh private registry for
+    the duration of the run (prior enable/disable state is restored), so
+    calling this never perturbs the caller's metrics.
+    """
+    # Heavy imports stay local: repro.obs must be importable without
+    # pulling the model/train/serve stack (the hot paths import obs, not
+    # the other way around).
+    from repro.adaptive import AdaptiveController, OfflineAnalyzer
+    from repro.data import SyntheticClickDataset, make_uniform_spec
+    from repro.dist import ClusterSimulator
+    from repro.dist.timeline import Timeline
+    from repro.model import DLRM, DLRMConfig
+    from repro.obs.exporters import run_report, snapshot_to_json, to_prometheus
+    from repro.obs.schema import validate_snapshot_json
+    from repro.obs.trace import unified_chrome_trace
+    from repro.serve import build_serving_tier
+    from repro.serve.loadgen import RequestLoadGenerator
+    from repro.serve.simulator import ServingSimulator
+    from repro.train import CompressionPipeline, HybridParallelTrainer
+
+    if n_iterations < 1:
+        raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+
+    with capture():
+        registry = enable(MetricsRegistry())
+
+        # --- train: compressed hybrid-parallel steps on a 2-rank cluster
+        spec = make_uniform_spec(
+            "obs-day", n_tables=n_tables, cardinality=cardinality, zipf_exponent=1.2
+        )
+        dataset = SyntheticClickDataset(spec, seed=seed, teacher_scale=3.0)
+        config = DLRMConfig.from_dataset(spec, embedding_dim=8, seed=seed + 1)
+        model = DLRM(config)
+        batch = dataset.batch(128, batch_index=10_000_000)
+        samples = {j: model.lookup(j, batch.sparse[:, j]) for j in range(n_tables)}
+        plan = OfflineAnalyzer().analyze(samples)
+        pipeline = CompressionPipeline(AdaptiveController(plan))
+        trainer = HybridParallelTrainer(
+            model,
+            dataset,
+            ClusterSimulator(2),
+            pipeline=pipeline,
+            lr=0.2,
+            overlap=True,  # chunked overlapped exchanges -> chunk events + stall/hidden metrics
+            pipeline_chunks=4,
+        )
+        for iteration in range(n_iterations):
+            trainer.train_step(64, iteration=iteration)
+        train_makespan = trainer.simulator.makespan()
+
+        # --- publish: ship the trained deltas to a 2-shard serving tier
+        tier = build_serving_tier(
+            trainer, n_shard_ranks=2, n_replicas=2, cache_rows=64
+        )
+        publication = tier.publisher.publish(iteration=n_iterations - 1)
+
+        # --- serve: a Zipf-skewed open-loop trace over the fresh tables
+        serve_trace = Timeline()
+        loadgen = RequestLoadGenerator(dataset, qps=qps, seed=seed + 2)
+        requests = loadgen.generate(n_requests)
+        serving = ServingSimulator(tier.replicas, config)
+        serving_report = serving.run(
+            requests,
+            replica_available_at=publication.downtime_seconds,
+            trace=serve_trace,
+        )
+
+        snapshot = registry.snapshot()
+        timelines = {
+            "train": trainer.simulator.timeline,
+            "publish": tier.publisher.simulator.timeline,
+            "serve": serve_trace,
+        }
+        # Lay the tiers out in wall-clock-ish order: publication begins
+        # when training pauses; serving resumes behind the publication.
+        offsets = {
+            "publish": train_makespan,
+            "serve": train_makespan,
+        }
+        trace = unified_chrome_trace(timelines, offsets=offsets)
+        report = run_report(snapshot, timelines=timelines, title="Day in the life")
+
+    paths: dict[str, Path] = {}
+    if out_dir is not None:
+        import json
+
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        metrics_json = snapshot_to_json(snapshot, indent=2)
+        validate_snapshot_json(metrics_json)  # never ship an invalid artifact
+        paths["metrics.json"] = out / "metrics.json"
+        paths["metrics.json"].write_text(metrics_json)
+        paths["metrics.prom"] = out / "metrics.prom"
+        paths["metrics.prom"].write_text(to_prometheus(snapshot))
+        paths["obs_trace.json"] = out / "obs_trace.json"
+        paths["obs_trace.json"].write_text(json.dumps(trace))
+        paths["run_report.txt"] = out / "run_report.txt"
+        paths["run_report.txt"].write_text(report + "\n")
+
+    return ScenarioResult(
+        snapshot=snapshot,
+        trace=trace,
+        report=report,
+        train_makespan=train_makespan,
+        publish_wire_nbytes=publication.wire_nbytes,
+        serve_p99_latency=serving_report.p99_latency,
+        paths=paths,
+    )

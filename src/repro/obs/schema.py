@@ -1,0 +1,179 @@
+"""Schema validation for exported metrics snapshots.
+
+The CI ``obs-smoke`` job runs the day-in-the-life scenario, writes
+``metrics.json`` via :func:`repro.obs.exporters.snapshot_to_json`, and
+validates it here::
+
+    PYTHONPATH=src python -m repro.obs.schema results/obs/metrics.json
+
+Validation is hand-rolled (no jsonschema dependency): every structural
+rule the parser relies on is checked, and violations raise
+:class:`SnapshotSchemaError` with a JSON-pointer-ish path to the bad
+node.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["SnapshotSchemaError", "validate_snapshot_json", "main"]
+
+SCHEMA_ID = "repro.obs.snapshot/v1"
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class SnapshotSchemaError(ValueError):
+    """A snapshot JSON document violates the v1 schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise SnapshotSchemaError(f"{path}: {message}")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        _fail(path, message)
+
+
+def _is_num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_histogram(hist: object, path: str) -> None:
+    _require(isinstance(hist, dict), path, "histogram must be an object")
+    assert isinstance(hist, dict)
+    required = {"bounds", "counts", "count", "total", "min", "max", "exact", "exact_limit"}
+    missing = required - set(hist)
+    _require(not missing, path, f"missing keys: {sorted(missing)}")
+    bounds = hist["bounds"]
+    _require(
+        isinstance(bounds, list) and len(bounds) >= 1 and all(_is_num(b) for b in bounds),
+        f"{path}.bounds",
+        "must be a non-empty list of numbers",
+    )
+    _require(
+        all(a < b for a, b in zip(bounds, bounds[1:])),
+        f"{path}.bounds",
+        "must be strictly increasing",
+    )
+    counts = hist["counts"]
+    _require(
+        isinstance(counts, list)
+        and all(isinstance(c, int) and not isinstance(c, bool) and c >= 0 for c in counts),
+        f"{path}.counts",
+        "must be a list of non-negative integers",
+    )
+    _require(
+        len(counts) == len(bounds) + 1,
+        f"{path}.counts",
+        f"expected {len(bounds) + 1} entries (one per bound + overflow), got {len(counts)}",
+    )
+    count = hist["count"]
+    _require(
+        isinstance(count, int) and not isinstance(count, bool) and count >= 0,
+        f"{path}.count",
+        "must be a non-negative integer",
+    )
+    _require(sum(counts) == count, f"{path}.count", "must equal sum of bucket counts")
+    _require(_is_num(hist["total"]), f"{path}.total", "must be a number")
+    for edge in ("min", "max"):
+        value = hist[edge]
+        if count == 0:
+            _require(value is None, f"{path}.{edge}", "must be null for an empty series")
+        else:
+            _require(_is_num(value), f"{path}.{edge}", "must be a number")
+    exact_limit = hist["exact_limit"]
+    _require(
+        isinstance(exact_limit, int) and not isinstance(exact_limit, bool) and exact_limit >= 0,
+        f"{path}.exact_limit",
+        "must be a non-negative integer",
+    )
+    exact = hist["exact"]
+    if exact is not None:
+        _require(
+            isinstance(exact, list) and all(_is_num(x) for x in exact),
+            f"{path}.exact",
+            "must be null or a list of numbers",
+        )
+        _require(len(exact) == count, f"{path}.exact", "must hold exactly count samples")
+        _require(
+            all(a <= b for a, b in zip(exact, exact[1:])),
+            f"{path}.exact",
+            "must be sorted ascending",
+        )
+
+
+def validate_snapshot_json(text: str) -> dict:
+    """Validate a snapshot JSON document; return the parsed object."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotSchemaError(f"$: not valid JSON ({exc})") from exc
+    _require(isinstance(payload, dict), "$", "document must be an object")
+    _require(
+        payload.get("schema") == SCHEMA_ID,
+        "$.schema",
+        f"must be {SCHEMA_ID!r}, got {payload.get('schema')!r}",
+    )
+    families = payload.get("families")
+    _require(isinstance(families, list), "$.families", "must be a list")
+    seen_names: set[str] = set()
+    for i, fam in enumerate(families):
+        path = f"$.families[{i}]"
+        _require(isinstance(fam, dict), path, "must be an object")
+        for key in ("name", "kind", "help", "series"):
+            _require(key in fam, path, f"missing key {key!r}")
+        name = fam["name"]
+        _require(isinstance(name, str) and bool(name), f"{path}.name", "must be a non-empty string")
+        _require(name not in seen_names, f"{path}.name", f"duplicate family {name!r}")
+        seen_names.add(name)
+        _require(fam["kind"] in _KINDS, f"{path}.kind", f"must be one of {_KINDS}")
+        _require(isinstance(fam["help"], str), f"{path}.help", "must be a string")
+        series = fam["series"]
+        _require(isinstance(series, list), f"{path}.series", "must be a list")
+        seen_labels: set[tuple[tuple[str, str], ...]] = set()
+        for j, entry in enumerate(series):
+            spath = f"{path}.series[{j}]"
+            _require(isinstance(entry, dict), spath, "must be an object")
+            labels = entry.get("labels")
+            _require(
+                isinstance(labels, dict)
+                and all(isinstance(k, str) and isinstance(v, str) for k, v in labels.items()),
+                f"{spath}.labels",
+                "must be an object of string->string",
+            )
+            key = tuple(sorted(labels.items()))
+            _require(key not in seen_labels, f"{spath}.labels", "duplicate label set")
+            seen_labels.add(key)
+            if fam["kind"] == "histogram":
+                _require("histogram" in entry, spath, "histogram series needs 'histogram'")
+                _check_histogram(entry["histogram"], f"{spath}.histogram")
+            else:
+                _require("value" in entry, spath, f"{fam['kind']} series needs 'value'")
+                _require(_is_num(entry["value"]), f"{spath}.value", "must be a number")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema <metrics.json>", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    try:
+        payload = validate_snapshot_json(path.read_text())
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except SnapshotSchemaError as exc:
+        print(f"INVALID {path}: {exc}", file=sys.stderr)
+        return 1
+    n_series = sum(len(f["series"]) for f in payload["families"])
+    print(f"OK {path}: {len(payload['families'])} families, {n_series} series")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Merge per-tier timelines into one unified chrome trace.
+
+The trainer, the delta publisher, and the serving tier each simulate on
+their own :class:`~repro.dist.timeline.Timeline` (their clocks are
+independent).  ``unified_chrome_trace`` stitches them into a single
+chrome-trace object — one *process* per tier, with every lane, span, and
+counter track preserved — so a whole train→publish→serve run reads as one
+picture in ``chrome://tracing`` / Perfetto.
+
+Optional per-tier ``offsets`` (seconds) shift a tier along the shared
+time axis, e.g. to place the publication after the training steps it
+follows and the serving burst after the publication.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.dist.timeline import Timeline
+
+__all__ = ["unified_chrome_trace", "dump_unified_chrome_trace"]
+
+
+def unified_chrome_trace(
+    tiers: Mapping[str, Timeline],
+    *,
+    offsets: Mapping[str, float] | None = None,
+) -> dict:
+    """Combine named timelines into one multi-process chrome trace.
+
+    ``tiers`` maps a tier name (becomes the chrome process name) to its
+    timeline; iteration order fixes the process ids.  ``offsets`` maps
+    tier names to a shift in *seconds* applied to every timed entry of
+    that tier (metadata events carry no timestamps and are unaffected).
+    """
+    offsets = dict(offsets or {})
+    unknown = set(offsets) - set(tiers)
+    if unknown:
+        raise ValueError(f"offsets name unknown tiers: {sorted(unknown)}")
+    merged: list[dict] = []
+    for pid, (name, timeline) in enumerate(tiers.items()):
+        shift_us = float(offsets.get(name, 0.0)) * 1e6
+        for entry in timeline.to_chrome_trace(process_name=name)["traceEvents"]:
+            entry = dict(entry)
+            entry["pid"] = pid
+            if "ts" in entry:
+                entry["ts"] = entry["ts"] + shift_us
+            merged.append(entry)
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
+
+
+def dump_unified_chrome_trace(
+    tiers: Mapping[str, Timeline],
+    path: str | Path,
+    *,
+    offsets: Mapping[str, float] | None = None,
+) -> Path:
+    """Write :func:`unified_chrome_trace` JSON to ``path`` (parents are
+    created) and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(unified_chrome_trace(tiers, offsets=offsets)))
+    return path

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dist.timeline import COMM_STREAM, COMPUTE_STREAM, EventCategory, Timeline
+from repro.dist.timeline import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    OBS_STREAM,
+    EventCategory,
+    Timeline,
+)
 from repro.utils.tables import format_table
 
 __all__ = [
@@ -41,6 +47,9 @@ CATEGORY_LABELS: dict[str, str] = {
     EventCategory.BOTTOM_MLP_BWD: "Bottom MLP (bwd)",
     EventCategory.ALLREDUCE: "All-reduce (dense)",
     EventCategory.OPTIMIZER: "Optimizer step",
+    EventCategory.TRAIN_STEP: "Trainer step (span)",
+    EventCategory.PUBLISH: "Delta publication",
+    EventCategory.SERVE_REQUEST: "Serving request",
 }
 
 #: display order for breakdown tables (forward pass, backward pass, sync)
@@ -115,7 +124,9 @@ def overlap_report(timeline: Timeline) -> dict[int, dict[str, float]]:
     """
     report: dict[int, dict[str, float]] = {}
     for rank in timeline.ranks():
-        events = timeline.events_for_rank(rank)
+        # Annotation spans (obs stream) cover work already on the real
+        # streams; counting them would fabricate overlap.
+        events = [e for e in timeline.events_for_rank(rank) if e.stream != OBS_STREAM]
         charged = sum(e.duration for e in events)
         busy = _union_seconds([(e.start, e.end) for e in events])
         overlapped = max(0.0, charged - busy)

@@ -39,7 +39,8 @@ from repro.compression.registry import decompress_any
 from repro.dist.comm import payload_nbytes
 from repro.dist.network import NetworkModel
 from repro.dist.simulator import ClusterSimulator
-from repro.dist.timeline import EventCategory
+from repro.dist.timeline import OBS_STREAM, EventCategory
+from repro.obs.runtime import OBS
 from repro.serve.replica import InferenceReplica
 from repro.serve.shard_server import (
     DEFAULT_ROWS_PER_BLOCK,
@@ -307,7 +308,44 @@ class DeltaPublisher:
             apply_seconds=tuple(apply_seconds),
         )
         self.reports.append(report)
+        self._obs_publish(report)
         return report
+
+    def _obs_publish(self, report: PublicationReport) -> None:
+        """Annotate the publication on the fabric timeline and, when the
+        observability runtime is enabled, feed the publish counters."""
+        timeline = self.simulator.timeline
+        end = self.simulator.makespan()
+        start = max(0.0, end - report.wire_seconds - report.compress_seconds)
+        timeline.record(
+            rank=0,
+            category=EventCategory.PUBLISH,
+            start=start,
+            duration=end - start,
+            stream=OBS_STREAM,
+            args={
+                "iteration": report.iteration,
+                "tables": len(report.tables),
+                "wire_nbytes": report.wire_nbytes,
+                "compressed": report.compressed,
+            },
+        )
+        timeline.record_counter("publish_wire_bytes", end, float(report.wire_nbytes))
+        if not OBS.enabled:
+            return
+        reg = OBS.registry
+        mode = "compressed" if report.compressed else "raw"
+        reg.counter("publish_rounds_total", "delta publication rounds").inc(1, mode=mode)
+        reg.counter(
+            "publish_wire_bytes_total", "bytes shipped to the serving tier"
+        ).inc(report.wire_nbytes, mode=mode)
+        reg.counter(
+            "publish_raw_bytes_total", "uncompressed delta bytes per publication"
+        ).inc(report.raw_nbytes, mode=mode)
+        reg.histogram(
+            "publish_downtime_seconds",
+            "serving-tier update-absorption window per publication",
+        ).observe(report.downtime_seconds, mode=mode)
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.runtime import OBS
 from repro.serve.shard_server import EmbeddingShardServer, ShardPull
 from repro.train.sharding import ShardingPlan
 
@@ -179,6 +180,17 @@ class InferenceReplica:
         misses = len(missing)
         self.hits += hits
         self.misses += misses
+        if OBS.enabled:
+            reg = OBS.registry
+            replica = str(self.replica_id)
+            if hits:
+                reg.counter(
+                    "serve_cache_hits_total", "row-cache hits across gathers"
+                ).inc(hits, replica=replica)
+            if misses:
+                reg.counter(
+                    "serve_cache_misses_total", "row-cache misses (shard pulls)"
+                ).inc(misses, replica=replica)
         return GatherResult(
             rows=np.stack(rows, axis=0),
             hits=hits,

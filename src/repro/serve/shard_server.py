@@ -28,6 +28,7 @@ import numpy as np
 from repro.compression.base import Compressor
 from repro.compression.cache import TableCodebookCache
 from repro.compression.registry import decompress_any, get_compressor
+from repro.obs.runtime import OBS
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -295,7 +296,20 @@ class EmbeddingShardServer:
 
     def pull(self, table_id: int, row_ids: np.ndarray) -> ShardPull:
         """Row-granular read: decode only the blocks the rows live in."""
-        return self._table(table_id).pull(row_ids)
+        pull = self._table(table_id).pull(row_ids)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("shard_pulls_total", "row-granular shard reads").inc()
+            reg.counter(
+                "shard_pull_blocks_total", "compressed blocks decoded for pulls"
+            ).inc(pull.blocks_touched)
+            reg.counter(
+                "shard_pull_bytes_total", "bytes moved for pulls"
+            ).inc(pull.compressed_nbytes, kind="compressed")
+            reg.counter(
+                "shard_pull_bytes_total", "bytes moved for pulls"
+            ).inc(pull.raw_nbytes, kind="raw")
+        return pull
 
     def lookup_rows(self, table_id: int, row_ids: np.ndarray) -> np.ndarray:
         """The rows alone (see :meth:`pull` for the cost accounting)."""

@@ -35,8 +35,11 @@ import numpy as np
 from repro.adaptive.selection import PAPER_A100_PROFILE, DeviceThroughputProfile
 from repro.dist.gpu import A100_LIKE, GpuModel
 from repro.dist.network import NetworkModel
+from repro.dist.timeline import EventCategory, Timeline
 from repro.model.config import DLRMConfig
 from repro.nn.interaction import DotInteraction
+from repro.obs.registry import Histogram
+from repro.obs.runtime import OBS
 from repro.serve.loadgen import Request
 from repro.serve.replica import InferenceReplica
 
@@ -198,6 +201,8 @@ class ServingSimulator:
         self,
         requests: Sequence[Request],
         replica_available_at: Sequence[float] | float = 0.0,
+        *,
+        trace: Timeline | None = None,
     ) -> ServingReport:
         """Serve an open-loop trace; requests route round-robin.
 
@@ -205,6 +210,18 @@ class ServingSimulator:
         (e.g. while applying a delta publication) — arrivals during the
         window queue behind it, which is how publication bandwidth turns
         into visible tail latency.
+
+        Latency percentiles come from the metrics registry's histogram
+        quantile estimator: *exact-rank* order statistics (the sample at
+        rank ``max(1, ceil(q * n))``) while the trace fits the exact
+        reservoir, degrading to bucket upper edges on very long traces —
+        a sliding-window-style estimate, never an interpolated value no
+        request actually saw.
+
+        With ``trace``, every request is recorded as a ``SERVE_REQUEST``
+        span on its replica's lane, plus two counter tracks:
+        ``serve_queue_depth`` (outstanding requests at each arrival) and
+        ``serve_cache_hit_rate`` (cumulative, sampled at completions).
         """
         if not requests:
             raise ValueError("need at least one request")
@@ -223,11 +240,17 @@ class ServingSimulator:
         busy = [0.0] * self.n_replicas
         counts = [0] * self.n_replicas
         latencies = np.empty(len(requests), dtype=np.float64)
+        latency_hist = Histogram(
+            "serving_latency_seconds", "per-request latency (this run)"
+        )
         hits = misses = blocks = 0
         compressed_nbytes = raw_nbytes = 0
         fanouts = np.empty(len(requests), dtype=np.float64)
         first_arrival = min(r.arrival_seconds for r in requests)
         last_completion = 0.0
+        obs_on = OBS.enabled
+        # Outstanding completion times per replica, for the queue-depth track.
+        pending: list[list[float]] = [[] for _ in range(self.n_replicas)]
         for i, request in enumerate(requests):
             replica_index = i % self.n_replicas
             seconds, stats = self.service_seconds(replica_index, request)
@@ -236,7 +259,9 @@ class ServingSimulator:
             free[replica_index] = completion
             busy[replica_index] += seconds
             counts[replica_index] += 1
-            latencies[i] = completion - request.arrival_seconds
+            latency = completion - request.arrival_seconds
+            latencies[i] = latency
+            latency_hist.observe(latency)
             last_completion = max(last_completion, completion)
             hits += stats.hits
             misses += stats.misses
@@ -244,6 +269,44 @@ class ServingSimulator:
             compressed_nbytes += stats.compressed_nbytes
             raw_nbytes += stats.raw_nbytes
             fanouts[i] = stats.fanout
+            if trace is not None:
+                arrival = request.arrival_seconds
+                for queue in pending:
+                    while queue and queue[0] <= arrival:
+                        queue.pop(0)
+                pending[replica_index].append(completion)
+                trace.record(
+                    replica_index,
+                    EventCategory.SERVE_REQUEST,
+                    start,
+                    seconds,
+                    args={
+                        "request": i,
+                        "hits": stats.hits,
+                        "misses": stats.misses,
+                        "fanout": stats.fanout,
+                    },
+                )
+                trace.record_counter(
+                    "serve_queue_depth", arrival, float(sum(map(len, pending)))
+                )
+                trace.record_counter(
+                    "serve_cache_hit_rate",
+                    completion,
+                    hits / max(1, hits + misses),
+                )
+            if obs_on:
+                reg = OBS.registry
+                reg.counter("serve_requests_total", "requests served").inc()
+                reg.histogram(
+                    "serve_latency_seconds", "request latency (arrival to completion)"
+                ).observe(latency)
+                reg.histogram(
+                    "serve_queue_wait_seconds", "time queued before service"
+                ).observe(start - request.arrival_seconds)
+                reg.histogram(
+                    "serve_fanout", "distinct shard nodes pulled per request"
+                ).observe(stats.fanout)
         makespan = last_completion - first_arrival
         total_lookups = hits + misses
         return ServingReport(
@@ -255,8 +318,8 @@ class ServingSimulator:
                 max(r.arrival_seconds for r in requests) - first_arrival,
             ),
             sustained_qps=len(requests) / max(1e-12, makespan),
-            p50_latency=float(np.percentile(latencies, 50)),
-            p99_latency=float(np.percentile(latencies, 99)),
+            p50_latency=latency_hist.quantile(0.5),
+            p99_latency=latency_hist.quantile(0.99),
             mean_latency=float(latencies.mean()),
             max_latency=float(latencies.max()),
             cache_hit_rate=hits / total_lookups if total_lookups else 0.0,

@@ -44,8 +44,10 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticClickDataset
 from repro.dist.simulator import ClusterSimulator
-from repro.dist.timeline import EventCategory, Timeline
+from repro.dist.timeline import OBS_STREAM, EventCategory, Timeline
 from repro.model.dlrm import DLRM
+from repro.obs.registry import UNIT_BUCKETS
+from repro.obs.runtime import OBS
 from repro.nn.loss import bce_grad, bce_with_logits
 from repro.nn.optim import SGD, Adagrad
 from repro.train.metrics import TrainingHistory
@@ -379,6 +381,12 @@ class HybridParallelTrainer:
         gpu = self.simulator.gpu
         local = global_batch_size // self.n_ranks
         batch = self.dataset.batch(global_batch_size, batch_index=iteration)
+        obs_on = OBS.enabled
+        if obs_on:
+            step_start = self.simulator.makespan()
+            events_before = len(self.simulator.timeline.events)
+            wire_before = self.forward_wire_bytes
+            raw_before = self.forward_raw_bytes
 
         # Forward: bottom MLP (data parallel) + embedding exchange.
         self._charge_mlp(local, self.model.bottom_mlp.sizes, EventCategory.BOTTOM_MLP_FWD)
@@ -431,7 +439,64 @@ class HybridParallelTrainer:
                 EventCategory.OPTIMIZER,
             )
         self._opt.step()
+        if obs_on:
+            self._obs_step(
+                iteration, float(loss), step_start, events_before, wire_before, raw_before
+            )
         return loss
+
+    def _obs_step(
+        self,
+        iteration: int,
+        loss: float,
+        step_start: float,
+        events_before: int,
+        wire_before: int,
+        raw_before: int,
+    ) -> None:
+        """Per-iteration step breakdown: a TRAIN_STEP annotation span on
+        the obs lane (so one chrome trace shows step boundaries over the
+        compute/comm events), the step-time histogram, wire-byte counters,
+        and this iteration's overlap efficiency measured over exactly the
+        events the step recorded."""
+        from repro.profiling.breakdown import overlap_efficiency
+
+        timeline = self.simulator.timeline
+        step_end = self.simulator.makespan()
+        wire_bytes = self.forward_wire_bytes - wire_before
+        timeline.record(
+            0,
+            EventCategory.TRAIN_STEP,
+            step_start,
+            step_end - step_start,
+            stream=OBS_STREAM,
+            args={"iteration": iteration, "loss": loss},
+        )
+        timeline.record_counter(
+            "train_wire_bytes", step_end, float(self.forward_wire_bytes)
+        )
+        window = Timeline()
+        window.events = timeline.events[events_before:]
+        efficiency = overlap_efficiency(window)
+        reg = OBS.registry
+        reg.histogram(
+            "train_step_seconds", "simulated wall time per iteration"
+        ).observe(step_end - step_start)
+        reg.histogram(
+            "train_overlap_efficiency",
+            "per-iteration fraction of wire time hidden behind compute",
+            bounds=UNIT_BUCKETS,
+        ).observe(efficiency)
+        reg.gauge(
+            "train_overlap_efficiency_last", "overlap efficiency of the latest iteration"
+        ).set(efficiency)
+        reg.counter("train_iterations_total", "completed iterations").inc()
+        reg.counter(
+            "train_forward_wire_bytes_total", "compressed forward-exchange bytes"
+        ).inc(wire_bytes)
+        reg.counter(
+            "train_forward_raw_bytes_total", "uncompressed-equivalent forward bytes"
+        ).inc(self.forward_raw_bytes - raw_before)
 
     def train(
         self,

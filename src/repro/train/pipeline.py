@@ -28,8 +28,13 @@ from repro.compression.entropy import EntropyCompressor
 from repro.compression.registry import decompress_any
 from repro.compression.vector_lz import DEFAULT_WINDOW, VectorLZCompressor
 from repro.dist.gpu import A100_LIKE, GpuModel
+from repro.obs.registry import exponential_buckets
+from repro.obs.runtime import OBS
 
 __all__ = ["TransferStats", "CompressionPipeline"]
+
+#: compression-ratio histogram buckets: 1x .. ~2900x in sqrt-2 steps
+RATIO_BUCKETS = exponential_buckets(1.0, 2**0.5, 24)
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,7 @@ class CompressionPipeline:
         }
         self._buffer_models: dict[tuple[str, str], BufferCostModel] = {}
         self.stats: list[TransferStats] = []
+        self._last_codec: dict[int, str] = {}
 
     # ------------------------------------------------------------ stage ①/④
 
@@ -113,11 +119,55 @@ class CompressionPipeline:
                 compressed_nbytes=len(payload),
             )
         )
+        if OBS.enabled:
+            self._obs_transfer(table_id, codec_name, error_bound, iteration, rows.nbytes, len(payload))
         return payload
+
+    def _obs_transfer(
+        self,
+        table_id: int,
+        codec_name: str,
+        error_bound: float,
+        iteration: int,
+        raw_nbytes: int,
+        compressed_nbytes: int,
+    ) -> None:
+        """Per-transfer stage-① metrics: bytes, ratio, bound utilization,
+        and codec-selection churn (how often the controller's per-table
+        pick changes between consecutive transfers of one table)."""
+        reg = OBS.registry
+        reg.counter("pipeline_raw_bytes_total", "stage-① input bytes").inc(
+            raw_nbytes, codec=codec_name
+        )
+        reg.counter(
+            "pipeline_compressed_bytes_total", "stage-① output bytes"
+        ).inc(compressed_nbytes, codec=codec_name)
+        reg.histogram(
+            "pipeline_compression_ratio",
+            "per-transfer compression ratio",
+            bounds=RATIO_BUCKETS,
+        ).observe(raw_nbytes / max(1, compressed_nbytes), table=str(table_id))
+        base = self.controller.error_bound(table_id, 0)
+        reg.gauge(
+            "pipeline_bound_utilization",
+            "effective error bound over the table's base bound",
+        ).set(error_bound / base if base > 0 else 0.0, table=str(table_id))
+        last = self._last_codec.get(table_id)
+        if last is not None and last != codec_name:
+            reg.counter(
+                "pipeline_codec_switch_total",
+                "per-table codec-selection changes between transfers",
+            ).inc(1, table=str(table_id))
+        self._last_codec[table_id] = codec_name
 
     def decompress_slice(self, payload: bytes) -> np.ndarray:
         """Stage ④: reconstruct a slice (self-describing payload)."""
-        return decompress_any(payload)
+        arr = decompress_any(payload)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "pipeline_decompressed_bytes_total", "stage-④ output bytes"
+            ).inc(arr.nbytes)
+        return arr
 
     def decompress_batch(self, payloads: Sequence[bytes]) -> list[np.ndarray]:
         """Stage ④ over a whole received batch (e.g. every slice of one
@@ -128,7 +178,12 @@ class CompressionPipeline:
         caches hot across payloads that share a table's codebook — one
         cache fill amortizes over the exchange instead of per slice.
         """
-        return [decompress_any(payload) for payload in payloads]
+        arrays = [decompress_any(payload) for payload in payloads]
+        if OBS.enabled:
+            OBS.registry.counter(
+                "pipeline_decompressed_bytes_total", "stage-④ output bytes"
+            ).inc(sum(a.nbytes for a in arrays))
+        return arrays
 
     def roundtrip(self, table_id: int, rows: np.ndarray, iteration: int) -> np.ndarray:
         """Compress + decompress — the noise the receiver actually sees.

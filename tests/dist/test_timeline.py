@@ -10,9 +10,15 @@ from repro.profiling.breakdown import CATEGORY_LABELS
 
 class TestEventCategory:
     def test_all_fifteen_stages_present(self):
-        assert len(list(EventCategory)) == 15
+        # 15 pipeline stages + 3 observability annotation categories
+        # (train_step / publish / serve_request spans).
+        assert len(list(EventCategory)) == 18
 
     def test_labels_cover_every_category(self):
+        # Every member — including the obs/serve annotation categories —
+        # must have a label, or new categories render unlabeled in reports.
+        for member in EventCategory:
+            assert member in CATEGORY_LABELS, f"no CATEGORY_LABELS entry for {member!r}"
         assert set(CATEGORY_LABELS) == set(EventCategory)
 
     def test_members_behave_as_strings(self):

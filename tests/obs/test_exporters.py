@@ -1,0 +1,174 @@
+"""Exporters: JSON and Prometheus round-trips, schema validation, run_report.
+
+The two fidelity laws:
+
+* JSON is lossless: ``snapshot_from_json(snapshot_to_json(s)) == s``.
+* Prometheus keeps buckets but not reservoirs:
+  ``from_prometheus(to_prometheus(s)) == s.scrub_exact()``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.exporters import (
+    SNAPSHOT_SCHEMA_ID,
+    from_prometheus,
+    run_report,
+    snapshot_from_json,
+    snapshot_to_json,
+    to_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schema import SnapshotSchemaError, validate_snapshot_json
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("wire_bytes_total", "bytes on the wire").inc(4096, stage="payload")
+    reg.counter("wire_bytes_total").inc(128, stage="metadata")
+    reg.gauge("queue_depth", "outstanding requests").set(3.0, replica="0")
+    h = reg.histogram("latency_seconds", "request latency", bounds=(0.001, 0.01, 0.1))
+    for v in (0.0004, 0.002, 0.05, 0.2):
+        h.observe(v)
+    reg.histogram("ratio", bounds=(2.0, 8.0)).observe(5.0, table="3")
+    return reg
+
+
+integral_values = st.integers(min_value=0, max_value=10**9).map(float)
+
+
+def _build_registry(counter_incs, hist_obs):
+    reg = MetricsRegistry()
+    for label, v in counter_incs:
+        reg.counter("ops_total").inc(v, kind=label)
+    h = reg.histogram("dist", bounds=(1.0, 10.0, 100.0), exact_limit=8)
+    for v in hist_obs:
+        h.observe(v)
+    return reg
+
+
+registry_state = st.builds(
+    _build_registry,
+    st.lists(st.tuples(st.sampled_from("abc"), integral_values), max_size=4),
+    st.lists(integral_values, max_size=12),
+)
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        snap = populated_registry().snapshot()
+        assert snapshot_from_json(snapshot_to_json(snap)) == snap
+
+    def test_json_carries_schema_id(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        assert doc["schema"] == SNAPSHOT_SCHEMA_ID
+
+    def test_accepts_live_registry(self):
+        reg = populated_registry()
+        assert snapshot_from_json(snapshot_to_json(reg)) == reg.snapshot()
+
+    @given(registry_state)
+    @settings(max_examples=40, deadline=None)
+    def test_lossless_property(self, reg):
+        snap = reg.snapshot()
+        assert snapshot_from_json(snapshot_to_json(snap)) == snap
+
+
+class TestPrometheusRoundTrip:
+    def test_scrub_law(self):
+        snap = populated_registry().snapshot()
+        assert from_prometheus(to_prometheus(snap)) == snap.scrub_exact()
+
+    def test_exposition_shape(self):
+        text = to_prometheus(populated_registry().snapshot())
+        assert '# TYPE wire_bytes_total counter' in text
+        assert 'wire_bytes_total{stage="payload"} 4096' in text
+        assert '# TYPE latency_seconds histogram' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 4' in text
+        assert "latency_seconds_count 4" in text
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total").inc(1, path='a\\b "c"\nd')
+        snap = reg.snapshot()
+        assert from_prometheus(to_prometheus(snap)) == snap.scrub_exact()
+
+    @given(registry_state)
+    @settings(max_examples=40, deadline=None)
+    def test_scrub_law_property(self, reg):
+        snap = reg.snapshot()
+        assert from_prometheus(to_prometheus(snap)) == snap.scrub_exact()
+
+    def test_both_exporters_agree_on_the_same_snapshot(self):
+        """The acceptance criterion: one snapshot through both formats
+        lands on the same bucket-level state."""
+        snap = populated_registry().snapshot()
+        via_json = snapshot_from_json(snapshot_to_json(snap))
+        via_prom = from_prometheus(to_prometheus(snap))
+        assert via_json.scrub_exact() == via_prom
+
+
+class TestSchemaValidation:
+    def test_valid_snapshot_passes(self):
+        text = snapshot_to_json(populated_registry().snapshot())
+        doc = validate_snapshot_json(text)
+        assert doc["schema"] == SNAPSHOT_SCHEMA_ID
+
+    def test_wrong_schema_id_rejected(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        doc["schema"] = "something/else"
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot_json(json.dumps(doc))
+
+    def test_histogram_count_mismatch_rejected(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        for family in doc["families"]:
+            if family["kind"] == "histogram":
+                family["series"][0]["histogram"]["count"] += 1
+                break
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot_json(json.dumps(doc))
+
+    def test_duplicate_family_rejected(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        doc["families"].append(doc["families"][0])
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot_json(json.dumps(doc))
+
+    def test_cli_main(self, tmp_path, capsys):
+        from repro.obs.schema import main
+
+        path = tmp_path / "metrics.json"
+        path.write_text(snapshot_to_json(populated_registry().snapshot()))
+        assert main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        path.write_text("{}")
+        assert main([str(path)]) != 0
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestRunReport:
+    def test_report_renders_all_kinds(self):
+        report = run_report(populated_registry(), title="My run")
+        assert "My run" in report
+        assert "wire_bytes_total{stage=payload}" in report
+        assert "queue_depth" in report
+        assert "latency_seconds" in report
+        # histogram row shows count and quantiles
+        assert "p50" in report and "p99" in report
+
+    def test_report_subsumes_breakdown(self):
+        from repro.dist.timeline import EventCategory, Timeline
+
+        timeline = Timeline()
+        timeline.record(0, EventCategory.EMB_LOOKUP, 0.0, 1.0)
+        report = run_report(
+            populated_registry(), timelines={"train": timeline}, title="Run"
+        )
+        assert "train time breakdown" in report
+        assert "Embedding lookup" in report

@@ -1,0 +1,154 @@
+"""Span/Tracer annotations and the zero-overhead runtime switch.
+
+Spans live on the ``OBS_STREAM`` annotation lane: they render in the
+chrome trace but never enter the profiling layer's time accounting —
+the invariant that lets instrumentation annotate work the simulator
+already charged without double counting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dist.timeline import OBS_STREAM, EventCategory, Timeline
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import OBS, capture, disable, enable, enabled, get_registry
+from repro.obs.span import Tracer
+from repro.profiling.breakdown import overlap_report
+
+
+class TestTracer:
+    def test_span_records_on_obs_stream(self):
+        timeline = Timeline()
+        tracer = Tracer(timeline)
+        event = tracer.span(EventCategory.TRAIN_STEP, 0.0, 2.0, args={"iteration": 0})
+        assert event.stream == OBS_STREAM
+        assert event.category == EventCategory.TRAIN_STEP
+        assert timeline.events == [event]
+
+    def test_begin_end_span(self):
+        timeline = Timeline()
+        tracer = Tracer(timeline, rank=1)
+        span = tracer.begin(EventCategory.SERVE_REQUEST, 1.0, request=7)
+        event = span.end(3.5, hits=2)
+        assert event.rank == 1
+        assert event.start == 1.0
+        assert event.duration == 2.5
+        assert event.args == {"request": 7, "hits": 2}
+
+    def test_span_cannot_end_twice_or_backwards(self):
+        tracer = Tracer(Timeline())
+        span = tracer.begin(EventCategory.TRAIN_STEP, 5.0)
+        with pytest.raises(ValueError):
+            span.end(4.0)
+        span.end(6.0)
+        with pytest.raises(RuntimeError):
+            span.end(7.0)
+
+    def test_counter_proxies_to_timeline(self):
+        timeline = Timeline()
+        tracer = Tracer(timeline)
+        tracer.counter("depth", 1.0, 3.0)
+        tracer.counter("depth", 0.5, 1.0)
+        track = timeline.counter_track("depth")
+        assert [(s.time, s.value) for s in track] == [(0.5, 1.0), (1.0, 3.0)]
+
+
+class TestNoDoubleCounting:
+    def test_obs_spans_excluded_from_category_totals(self):
+        timeline = Timeline()
+        timeline.record(0, EventCategory.EMB_LOOKUP, 0.0, 1.0)
+        Tracer(timeline).span(EventCategory.TRAIN_STEP, 0.0, 10.0)
+        totals = timeline.total_by_category(rank=0)
+        assert EventCategory.TRAIN_STEP not in totals
+        assert totals[EventCategory.EMB_LOOKUP] == 1.0
+
+    def test_obs_spans_excluded_from_overlap_report(self):
+        timeline = Timeline()
+        timeline.record(0, EventCategory.EMB_LOOKUP, 0.0, 1.0)
+        baseline = overlap_report(timeline)
+        Tracer(timeline).span(EventCategory.TRAIN_STEP, 0.0, 50.0)
+        assert overlap_report(timeline) == baseline
+
+    def test_obs_spans_render_in_chrome_trace(self):
+        timeline = Timeline()
+        Tracer(timeline).span(EventCategory.TRAIN_STEP, 0.0, 1.0)
+        trace = timeline.to_chrome_trace()
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert any(e["name"] == EventCategory.TRAIN_STEP for e in spans)
+
+
+class TestRuntimeSwitch:
+    def test_disabled_by_default_in_tests(self):
+        assert not OBS.enabled
+        assert not enabled()
+
+    def test_enable_disable(self):
+        reg = enable()
+        try:
+            assert enabled()
+            assert get_registry() is reg
+            assert isinstance(reg, MetricsRegistry)
+        finally:
+            disable()
+        assert not enabled()
+
+    def test_enable_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        try:
+            assert enable(mine) is mine
+            assert OBS.registry is mine
+        finally:
+            disable()
+
+    def test_capture_restores_prior_state(self):
+        outer = enable()
+        try:
+            with capture() as inner:
+                assert inner is not outer
+                assert OBS.registry is inner
+            assert OBS.registry is outer
+            assert enabled()
+        finally:
+            disable()
+
+    def test_capture_restores_disabled_state(self):
+        assert not enabled()
+        with capture():
+            assert enabled()
+        assert not enabled()
+
+
+class TestTimelineCounterTracks:
+    def test_record_counter_validates(self):
+        timeline = Timeline()
+        with pytest.raises(ValueError):
+            timeline.record_counter("", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            timeline.record_counter("depth", -1.0, 1.0)
+
+    def test_counter_names(self):
+        timeline = Timeline()
+        timeline.record_counter("b", 0.0, 1.0)
+        timeline.record_counter("a", 0.0, 2.0)
+        assert timeline.counter_names() == ["a", "b"]
+
+    def test_chrome_trace_emits_counter_events(self):
+        timeline = Timeline()
+        timeline.record_counter("depth", 1.5, 4.0)
+        trace = timeline.to_chrome_trace()
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert len(counters) == 1
+        [event] = counters
+        assert event["name"] == "depth"
+        assert event["ts"] == pytest.approx(1.5e6)
+        assert event["args"] == {"value": 4.0}
+
+    def test_dump_creates_parent_directories(self, tmp_path):
+        timeline = Timeline()
+        timeline.record(0, EventCategory.EMB_LOOKUP, 0.0, 1.0)
+        path = tmp_path / "deep" / "nested" / "trace.json"
+        timeline.dump_chrome_trace(path)
+        assert json.loads(path.read_text())["traceEvents"]

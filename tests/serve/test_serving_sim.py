@@ -76,6 +76,40 @@ class TestDeterminism:
         assert report.sustained_qps > 0
 
 
+class TestExactRankPercentiles:
+    """PR-6 satellite: the report's p50/p99 come from the metrics
+    registry's exact-rank estimator, not ``np.percentile`` — on small
+    samples every quantile is a latency some request actually saw, with
+    rank ``max(1, ceil(q * n))``, never an interpolated value."""
+
+    def test_small_sample_percentiles_are_observed_latencies(self, world):
+        report = run_once(world, n_requests=7)
+        # recompute the per-request latencies independently of the report
+        spec, dataset, config, model = world
+        _, replicas, _ = build_tier(model, n_replicas=2, cache_rows=512)
+        sim = ServingSimulator(replicas, config)
+        requests = RequestLoadGenerator(dataset, qps=2000.0, seed=7).generate(7)
+        requests = sorted(requests, key=lambda r: r.arrival_seconds)
+        free = [0.0, 0.0]
+        latencies = []
+        for i, request in enumerate(requests):
+            replica_index = i % 2
+            seconds, _ = sim.service_seconds(replica_index, request)
+            start = max(request.arrival_seconds, free[replica_index])
+            free[replica_index] = start + seconds
+            latencies.append(start + seconds - request.arrival_seconds)
+        ordered = sorted(latencies)
+        # exact-rank order statistics on n=7: p50 -> rank 4, p99 -> rank 7
+        assert report.p50_latency == ordered[3]
+        assert report.p99_latency == ordered[6]
+        assert report.p50_latency in latencies
+        assert report.p99_latency in latencies
+
+    def test_p99_is_max_on_samples_under_100(self, world):
+        report = run_once(world, n_requests=50)
+        assert report.p99_latency == report.max_latency
+
+
 class TestCacheMonotonicity:
     def test_hit_rate_monotone_in_cache_size(self, world):
         rates = [

@@ -40,6 +40,15 @@ class TestLightExamples:
         assert "window" in out.lower()
         assert "Buffer optimization" in out
 
+    def test_obs_day_in_the_life_runs(self, capsys, tmp_path):
+        module = _load_module("obs_day_in_the_life")
+        module.main(["--out", str(tmp_path / "obs"), "--iterations", "2", "--requests", "50"])
+        out = capsys.readouterr().out
+        assert "Day in the life" in out
+        assert "serve p99" in out
+        for artifact in ("metrics.json", "metrics.prom", "obs_trace.json", "run_report.txt"):
+            assert (tmp_path / "obs" / artifact).exists(), artifact
+
     def test_quickstart_batch_is_representative(self):
         module = _load_module("quickstart")
         batch = module.make_lookup_batch(batch=256, dim=16, seed=1)
