@@ -34,6 +34,12 @@ from repro.compression.registry import (
     get_compressor,
     register_compressor,
 )
+from repro.compression.serialization import (
+    CorruptPayloadError,
+    frame_with_checksum,
+    has_checksum,
+    verify_checksum_frame,
+)
 from repro.compression.vector_lz import VectorLZCompressor
 
 __all__ = [
@@ -68,4 +74,8 @@ __all__ = [
     "LruCache",
     "TableCodebookCache",
     "EncoderPinCache",
+    "CorruptPayloadError",
+    "frame_with_checksum",
+    "has_checksum",
+    "verify_checksum_frame",
 ]

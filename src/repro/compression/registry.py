@@ -23,6 +23,7 @@ from repro.compression.baselines import (
 )
 from repro.compression.entropy import EntropyCompressor
 from repro.compression.hybrid import HybridCompressor
+from repro.compression.serialization import has_checksum, verify_checksum_frame
 from repro.compression.vector_lz import VectorLZCompressor
 
 __all__ = ["register_compressor", "get_compressor", "available_compressors", "decompress_any"]
@@ -65,7 +66,16 @@ def available_compressors() -> tuple[str, ...]:
 
 
 def decompress_any(payload: bytes | memoryview) -> np.ndarray:
-    """Decode a payload produced by any registered codec."""
+    """Decode a payload produced by any registered codec.
+
+    Accepts both bare codec frames and CRC32-checksummed envelopes (see
+    :func:`repro.compression.serialization.frame_with_checksum`); a
+    checksummed payload is verified first, so a corrupted frame raises
+    :class:`~repro.compression.serialization.CorruptPayloadError` instead
+    of decoding garbage.
+    """
+    if has_checksum(payload):
+        payload = verify_checksum_frame(payload)
     header, _ = parse_payload(payload)
     codec = header["codec"]
     if codec not in _FACTORIES:

@@ -17,16 +17,94 @@ tag         value encoding
 
 Keys are packed as varint-length-prefixed UTF-8.  The format is sequential
 and order-preserving; no alignment padding.
+
+**Checksummed frames (opt-in).**  Codec payloads are self-describing but
+carry no integrity check — a flipped bit on a faulty fabric decodes into
+silently-wrong embedding rows.  :func:`frame_with_checksum` wraps any
+payload in a 5-byte CRC32 envelope; :func:`verify_checksum_frame` strips
+it, raising :class:`CorruptPayloadError` on mismatch, which is what the
+fault injector's corruption faults (and the publisher's retry loop) key
+off.  The envelope is opt-in so every existing byte-exact payload stays
+pinned bit for bit.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any
 
 import numpy as np
 
-__all__ = ["pack_meta", "unpack_meta", "write_varint", "read_varint"]
+__all__ = [
+    "pack_meta",
+    "unpack_meta",
+    "write_varint",
+    "read_varint",
+    "CorruptPayloadError",
+    "CHECKSUM_MAGIC",
+    "frame_with_checksum",
+    "has_checksum",
+    "verify_checksum_frame",
+]
+
+
+#: frame marker of a CRC32-checksummed payload envelope (distinct from the
+#: codec frame's ``MAGIC`` 0xDC, so the two framings cannot be confused)
+CHECKSUM_MAGIC = 0xC5
+
+
+class CorruptPayloadError(ValueError):
+    """A checksummed payload failed CRC32 verification.
+
+    Raised only for frames that *declare* a checksum — an unframed payload
+    is never rejected here (integrity is opt-in), and a truncated or
+    bit-flipped envelope reports the stored vs computed digest so fault
+    logs say exactly what went wrong on the wire.
+    """
+
+
+def frame_with_checksum(payload: bytes | bytearray | memoryview) -> bytes:
+    """Wrap a payload in a 5-byte CRC32 envelope: magic + digest + body.
+
+    The envelope is opt-in: nothing in the codec stack emits it by
+    default, so byte-exact payload tests stay pinned.  Callers that ship
+    payloads over a faultable fabric (the delta publisher, the fault
+    injector's corruption tests) wrap before sending and
+    :func:`verify_checksum_frame` on receipt.
+    """
+    body = bytes(payload)
+    return bytes([CHECKSUM_MAGIC]) + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def has_checksum(data: bytes | bytearray | memoryview) -> bool:
+    """Whether ``data`` carries the checksum envelope."""
+    view = memoryview(data)
+    return len(view) >= 5 and view[0] == CHECKSUM_MAGIC
+
+
+def verify_checksum_frame(data: bytes | bytearray | memoryview) -> bytes:
+    """Verify a checksummed frame and return the inner payload.
+
+    Raises :class:`CorruptPayloadError` when the body's CRC32 does not
+    match the stored digest (a corrupted or truncated frame), and a plain
+    :class:`ValueError` when ``data`` is not a checksummed frame at all.
+    """
+    view = memoryview(data)
+    if len(view) < 5 or view[0] != CHECKSUM_MAGIC:
+        raise ValueError(
+            "not a checksummed frame (missing CRC32 envelope); "
+            "wrap payloads with frame_with_checksum() before verifying"
+        )
+    (stored,) = struct.unpack_from("<I", view, 1)
+    body = bytes(view[5:])
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != stored:
+        raise CorruptPayloadError(
+            f"payload checksum mismatch: stored CRC32 0x{stored:08x} != computed "
+            f"0x{actual:08x} over {len(body)} bytes — payload corrupted in transit"
+        )
+    return body
 
 
 def write_varint(out: bytearray, value: int) -> None:

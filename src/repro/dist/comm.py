@@ -112,6 +112,34 @@ class Communicator:
             if len(row) != n:
                 raise ValueError(f"rank {src} posted {len(row)} buffers, expected {n}")
 
+    def _check_entries(
+        self,
+        sendbufs: Sequence[Sequence[object]],
+        entries_per_pair: int | np.ndarray,
+    ) -> None:
+        """Posted payload batches must match the advertised metadata counts.
+
+        A sender whose ``sendbufs[src][dst]`` sequence disagrees with its
+        ``entries_per_pair[src, dst]`` metadata record count would make
+        the receiver mis-slice the batch — fail loudly with the rank and
+        both counts instead of a downstream KeyError/IndexError.
+        """
+        if np.isscalar(entries_per_pair):
+            return
+        entries = np.asarray(entries_per_pair)
+        for src, row in enumerate(sendbufs):
+            for dst, entry in enumerate(row):
+                if not isinstance(entry, (list, tuple)):
+                    continue
+                expected = int(entries[src, dst])
+                if expected and len(entry) != expected:
+                    raise ValueError(
+                        f"rank {src} posted {len(entry)} payload(s) for rank "
+                        f"{dst} but advertised {expected} metadata "
+                        f"entr{'y' if expected == 1 else 'ies'}; senders must "
+                        "post exactly one payload per metadata record"
+                    )
+
     def _byte_matrix(self, sendbufs: Sequence[Sequence[object]]) -> np.ndarray:
         n = self.n_ranks
         matrix = np.zeros((n, n), dtype=np.int64)
@@ -299,6 +327,7 @@ class Communicator:
         e.g. the bottom-MLP backward kernels hides its wire behind them.
         """
         self._check_square(sendbufs)
+        self._check_entries(sendbufs, entries_per_pair)
         sim = self.simulator
         n = self.n_ranks
         meta_seconds, skip_metadata = self._metadata_seconds(

@@ -27,6 +27,12 @@ Charging primitives:
 Per-(rank, stream) events never overlap, and collectives appear on all
 ranks with identical spans — the invariants the integration tests pin.
 Events on *different* streams of one rank may overlap; that is the point.
+
+A :class:`~repro.faults.injector.FaultInjector` may be attached via the
+``fault_injector`` attribute; when present, compute events stretch under
+straggler slowdowns and comm events/collectives wait out fabric outages
+and stretch under degraded links.  Unattached (the default), every charge
+is exactly as priced — fault handling adds zero cost to healthy runs.
 """
 
 from __future__ import annotations
@@ -66,6 +72,8 @@ class ClusterSimulator:
                 f"but the simulator has {self.n_ranks}"
             )
         self.gpu = gpu if gpu is not None else A100_LIKE
+        #: optional FaultInjector bending this simulator's charges
+        self.fault_injector = None
         self.timeline = Timeline()
         self._streams: dict[str, list[float]] = {
             stream: [0.0] * self.n_ranks for stream in self.STREAMS
@@ -150,6 +158,10 @@ class ClusterSimulator:
         start = clocks[rank]
         if not_before is not None:
             start = max(start, self._check_seconds(not_before))
+        if self.fault_injector is not None:
+            start, seconds = self.fault_injector.adjust_stream_event(
+                rank, stream, start, seconds
+            )
         self.timeline.record(rank, category, start, seconds, stream=stream, args=args)
         clocks[rank] = start + seconds
         return clocks[rank]
@@ -169,6 +181,8 @@ class ClusterSimulator:
         returns the common end time."""
         seconds = self._check_seconds(seconds)
         start = self.barrier()
+        if self.fault_injector is not None:
+            start, seconds = self.fault_injector.adjust_collective(start, seconds)
         for rank in range(self.n_ranks):
             self.timeline.record(rank, category, start, seconds, stream=stream)
         end = start + seconds

@@ -62,6 +62,13 @@ class EventCategory(str, Enum):
     TRAIN_STEP = "train_step"
     PUBLISH = "publish"
     SERVE_REQUEST = "serve_request"
+    # fault-tolerance categories: RETRY/CHECKPOINT/RESTORE are real charged
+    # work (backoff waits, snapshot/reload memcpys); FAULT is an annotation
+    # span marking an injected fault's window on the OBS lane
+    RETRY = "retry"
+    CHECKPOINT = "checkpoint"
+    RESTORE = "restore"
+    FAULT = "fault"
 
     def __str__(self) -> str:  # keep reports/keys readable
         return self.value

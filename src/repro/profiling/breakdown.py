@@ -50,6 +50,10 @@ CATEGORY_LABELS: dict[str, str] = {
     EventCategory.TRAIN_STEP: "Trainer step (span)",
     EventCategory.PUBLISH: "Delta publication",
     EventCategory.SERVE_REQUEST: "Serving request",
+    EventCategory.RETRY: "Retry backoff",
+    EventCategory.CHECKPOINT: "Checkpoint save",
+    EventCategory.RESTORE: "Checkpoint restore",
+    EventCategory.FAULT: "Injected fault (span)",
 }
 
 #: display order for breakdown tables (forward pass, backward pass, sync)

@@ -55,6 +55,8 @@ from repro.compression.huffman import (
 )
 from repro.compression.hybrid import HybridCompressor
 from repro.compression.quantizer import quantize_batch
+from repro.compression.registry import decompress_any
+from repro.compression.serialization import frame_with_checksum, verify_checksum_frame
 from repro.obs import runtime as obs_runtime
 from repro.obs.registry import MetricsRegistry
 from repro.compression.vector_lz import (
@@ -278,6 +280,32 @@ def run_suite(
         add(
             "hybrid", "decompress", shape_name, rows, dim, nbytes,
             lambda: hybrid.decompress(hybrid_payload),
+        )
+
+        # --- CRC32 checksum envelope (the fault-tolerance framing): what
+        # integrity costs on top of the codec.  The serve_degraded/pull
+        # row is one faultable shard pull — verify the envelope, then the
+        # registry-level decode that strips it — against the bare decode,
+        # so the speedup column reads as the degraded-fabric overhead. ---
+        framed_payload = frame_with_checksum(hybrid_payload)
+        add(
+            "checksum", "frame", shape_name, rows, dim, nbytes,
+            lambda: frame_with_checksum(hybrid_payload),
+        )
+        add(
+            "checksum", "verify", shape_name, rows, dim, nbytes,
+            lambda: verify_checksum_frame(framed_payload),
+        )
+
+        def _degraded_pull():
+            verify_checksum_frame(framed_payload)
+            return decompress_any(framed_payload)
+
+        add(
+            "serve_degraded", "pull", shape_name, rows, dim, nbytes,
+            _degraded_pull,
+            lambda: hybrid.decompress(hybrid_payload),
+            interleave=True,
         )
 
         # --- hybrid codec with the observability runtime enabled: prices

@@ -36,6 +36,11 @@ import numpy as np
 
 from repro.adaptive.selection import PAPER_A100_PROFILE, DeviceThroughputProfile
 from repro.compression.registry import decompress_any
+from repro.compression.serialization import (
+    CorruptPayloadError,
+    frame_with_checksum,
+    verify_checksum_frame,
+)
 from repro.dist.comm import payload_nbytes
 from repro.dist.network import NetworkModel
 from repro.dist.simulator import ClusterSimulator
@@ -88,6 +93,13 @@ class PublicationReport:
     #: serving, so it is *not* part of :attr:`downtime_seconds`
     compress_seconds: float
     apply_seconds: tuple[float, ...]  # per shard node
+    #: retry accounting (all defaults preserve the healthy-path shape)
+    attempts: int = 1
+    retry_backoff_seconds: float = 0.0
+    corrupted_payloads: int = 0
+    #: ``False`` when every delivery attempt failed verification — nothing
+    #: was applied, the serving tier kept its previous (bounded) state
+    succeeded: bool = True
 
     @property
     def compression_ratio(self) -> float:
@@ -105,7 +117,11 @@ class PublicationReport:
     @property
     def downtime_seconds(self) -> float:
         """Window during which the serving tier is absorbing the update:
-        wire drain plus the slowest shard node's apply."""
+        wire drain plus the slowest shard node's apply.  A failed round
+        applies nothing — the replicas never stop serving, so its
+        downtime is zero."""
+        if not self.succeeded:
+            return 0.0
         return self.wire_seconds + max(self.apply_seconds, default=0.0)
 
 
@@ -131,6 +147,26 @@ class DeltaPublisher:
         ``True`` ships error-bounded deltas under the adaptive
         controller's per-table codec/bound (requires the trainer's
         pipeline); ``False`` ships raw float32 deltas (exact, heavy).
+    retry_policy:
+        Optional :class:`~repro.faults.retry.RetryPolicy`.  When set, a
+        publication round whose payloads fail verification is retried —
+        full round replay, backoff charged as RETRY on the fabric clock.
+        The replay is error-feedback-safe: the serving tier's logical
+        state mutates only after a fully verified delivery, so the
+        per-round staleness bound holds across any number of failed
+        rounds (the next delta is still computed against what the shards
+        actually hold).
+    checksum:
+        Wrap every payload in the CRC32 envelope
+        (:func:`~repro.compression.serialization.frame_with_checksum`) so
+        in-transit corruption is *detected* (→ retry) instead of decoded
+        into garbage.  Required when the fault injector schedules
+        corruption faults.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; attached
+        to the publication fabric (outages/degraded links stretch the
+        exchange) and consulted per (round, table, attempt) for payload
+        corruption.
     """
 
     def __init__(
@@ -143,6 +179,9 @@ class DeltaPublisher:
         network: NetworkModel | None = None,
         compress: bool = True,
         profile: DeviceThroughputProfile = PAPER_A100_PROFILE,
+        retry_policy=None,
+        checksum: bool = False,
+        fault_injector=None,
     ):
         if sharding is None:
             if not replicas:
@@ -164,13 +203,27 @@ class DeltaPublisher:
             raise ValueError(
                 f"serving sharding covers {sharding.n_tables} tables, model has {n_tables}"
             )
+        if (
+            fault_injector is not None
+            and fault_injector.plan.corruptions
+            and not checksum
+        ):
+            raise ValueError(
+                "the fault plan schedules payload corruption but checksum=False; "
+                "without the CRC32 envelope corruption would be applied silently "
+                "— pass checksum=True"
+            )
         self.trainer = trainer
         self.servers = tuple(servers)
         self.replicas = tuple(replicas)
         self.sharding = sharding
         self.compress = bool(compress)
         self.profile = profile
+        self.retry_policy = retry_policy
+        self.checksum = bool(checksum)
+        self.fault_injector = fault_injector
         self.simulator = ClusterSimulator(1 + len(servers), network=network)
+        self.simulator.fault_injector = fault_injector
         # Cached codec instances: table-keyed delta compression every
         # round amortizes encoder pins / codebooks exactly like the shards.
         self._codec = serving_codec_pool()
@@ -201,16 +254,28 @@ class DeltaPublisher:
     # -------------------------------------------------------------- publish
 
     def publish(self, iteration: int = 0) -> PublicationReport:
-        """One publication round: delta, compress, ship, apply, invalidate."""
+        """One publication round: delta, compress, ship (with verification
+        and retries when configured), apply, invalidate.
+
+        The serving tier's logical state (:attr:`_published`, the shard
+        tables, the replica caches) mutates **only after** a delivery whose
+        every payload verified — a corrupted or abandoned round leaves the
+        tier exactly where it was, so the next round's delta (computed
+        against the unchanged published state) still carries the full
+        error-feedback correction and the per-round staleness bound never
+        accumulates across failures.
+        """
         pipeline = self.trainer.pipeline
         n_servers = len(self.servers)
         n = 1 + n_servers
-        sendbufs: list[list[list[bytes]]] = [[[] for _ in range(n)] for _ in range(n)]
+        round_index = len(self.reports)
         entries = np.zeros((n, n), dtype=np.int64)
         stage1_chunks: list[tuple[str, int]] = []
         apply_chunks: list[list[tuple[str, int]]] = [[] for _ in range(n_servers)]
         table_records: list[TableDelta] = []
         new_state: dict[int, np.ndarray] = {}
+        pristine: list[bytes] = []  # payload per table record, in record order
+        placements: list[int] = []  # shard rank per table record
         for shard_rank in range(n_servers):
             for table_id in self.sharding.tables_of(shard_rank):
                 current = np.array(
@@ -231,7 +296,10 @@ class DeltaPublisher:
                     bound = 0.0
                     payload = delta.tobytes()
                     applied = current
-                sendbufs[0][1 + shard_rank].append(payload)
+                if self.checksum:
+                    payload = frame_with_checksum(payload)
+                pristine.append(payload)
+                placements.append(shard_rank)
                 entries[0, 1 + shard_rank] += 1
                 stage1_chunks.append((codec_name, delta.nbytes))
                 apply_chunks[shard_rank].append((codec_name, delta.nbytes))
@@ -250,52 +318,101 @@ class DeltaPublisher:
         # Ship through the Communicator on the publication fabric.  The
         # compressed path runs the full 4-stage exchange (stage-② metadata
         # because payload sizes are variable); raw deltas are fixed-size
-        # and self-describing, so they go as a plain all-to-all.
+        # and self-describing, so they go as a plain all-to-all.  Payloads
+        # are compressed exactly once; a retry re-ships the same bytes
+        # (stage ① is charged on the first attempt only).
         comm = self.simulator.comm
-        start = self.simulator.makespan()
+        sim = self.simulator
         compress_seconds = 0.0
+        decompress_seconds = [0.0] * n
         if self.compress:
             compress_seconds = pipeline.compression_seconds(stage1_chunks)
             decompress_seconds = [0.0] + [
                 pipeline.decompression_seconds(chunks) if chunks else 0.0
                 for chunks in apply_chunks
             ]
-            comm.compressed_all_to_all(
-                sendbufs,
-                metadata_bytes_per_entry=pipeline.metadata_bytes_per_entry,
-                entries_per_pair=entries,
-                category=EventCategory.ALLTOALL_FWD,
-                compress_seconds=[compress_seconds] + [0.0] * n_servers,
-                decompress_seconds=decompress_seconds,
-            )
-        else:
-            comm.all_to_all(sendbufs, EventCategory.ALLTOALL_FWD)
-        # The exchange span includes the publisher's stage-① compression,
-        # which elapses on the publisher while the serving tier keeps
-        # serving — subtract it so wire_seconds (and downtime) cover only
-        # the metadata/payload/shard-decode window.
-        wire_seconds = self.simulator.makespan() - start - compress_seconds
-
-        # Apply: shard nodes recompress their tables from the exact new
-        # logical state; replicas drop the now-stale cached rows.  The
-        # recompression kernels dominate the apply window, so they are
-        # priced at the shard codec's compress throughput (plus the
-        # staging memcpy).
-        gpu = self.simulator.gpu
-        apply_seconds = []
-        for shard_rank, server in enumerate(self.servers):
-            seconds = 0.0
-            for table_id in self.sharding.tables_of(shard_rank):
-                self._published[table_id] = new_state[table_id]
-                server.set_table(table_id, new_state[table_id])
-                nbytes = new_state[table_id].nbytes
-                seconds += gpu.memcpy_time(nbytes) + gpu.throughput_kernel_time(
-                    nbytes, self.profile.for_codec(server.codec(table_id)).compress
+        max_attempts = self.retry_policy.max_attempts if self.retry_policy else 1
+        attempts = 0
+        backoff_total = 0.0
+        corrupted_total = 0
+        succeeded = False
+        wire_seconds = 0.0
+        for attempt in range(max_attempts):
+            attempts = attempt + 1
+            if attempt:
+                backoff = self.retry_policy.backoff_seconds(
+                    attempt, "publish", round_index
                 )
-            apply_seconds.append(seconds)
-        updated = [record.table_id for record in table_records]
-        for replica in self.replicas:
-            replica.invalidate_tables(updated)
+                backoff_total += backoff
+                sim.collective(backoff, EventCategory.RETRY)
+            delivered = list(pristine)
+            if self.fault_injector is not None:
+                for record_index, payload in enumerate(pristine):
+                    if self.fault_injector.corrupts(round_index, record_index, attempt):
+                        delivered[record_index] = self.fault_injector.corrupt_payload(
+                            payload, round_index, record_index, attempt
+                        )
+            sendbufs: list[list[list[bytes]]] = [
+                [[] for _ in range(n)] for _ in range(n)
+            ]
+            for shard_rank, payload in zip(placements, delivered):
+                sendbufs[0][1 + shard_rank].append(payload)
+            attempt_start = sim.makespan()
+            stage1 = compress_seconds if attempt == 0 else 0.0
+            if self.compress:
+                comm.compressed_all_to_all(
+                    sendbufs,
+                    metadata_bytes_per_entry=pipeline.metadata_bytes_per_entry,
+                    entries_per_pair=entries,
+                    category=EventCategory.ALLTOALL_FWD,
+                    compress_seconds=[stage1] + [0.0] * n_servers,
+                    decompress_seconds=decompress_seconds,
+                )
+            else:
+                comm.all_to_all(sendbufs, EventCategory.ALLTOALL_FWD)
+            # The exchange span includes the publisher's stage-①
+            # compression, which elapses while replicas keep serving —
+            # subtract it so wire_seconds (and downtime) cover only the
+            # metadata/payload/shard-decode window of this attempt.
+            wire_seconds = sim.makespan() - attempt_start - stage1
+            bad = 0
+            if self.checksum:
+                for payload in delivered:
+                    try:
+                        verify_checksum_frame(payload)
+                    except CorruptPayloadError:
+                        bad += 1
+            corrupted_total += bad
+            if bad == 0:
+                succeeded = True
+                break
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "publish_retries_total",
+                    "publication delivery attempts that failed verification",
+                ).inc(1)
+
+        apply_seconds: list[float] = []
+        if succeeded:
+            # Apply: shard nodes recompress their tables from the exact new
+            # logical state; replicas drop the now-stale cached rows.  The
+            # recompression kernels dominate the apply window, so they are
+            # priced at the shard codec's compress throughput (plus the
+            # staging memcpy).
+            gpu = sim.gpu
+            for shard_rank, server in enumerate(self.servers):
+                seconds = 0.0
+                for table_id in self.sharding.tables_of(shard_rank):
+                    self._published[table_id] = new_state[table_id]
+                    server.set_table(table_id, new_state[table_id])
+                    nbytes = new_state[table_id].nbytes
+                    seconds += gpu.memcpy_time(nbytes) + gpu.throughput_kernel_time(
+                        nbytes, self.profile.for_codec(server.codec(table_id)).compress
+                    )
+                apply_seconds.append(seconds)
+            updated = [record.table_id for record in table_records]
+            for replica in self.replicas:
+                replica.invalidate_tables(updated)
 
         report = PublicationReport(
             iteration=int(iteration),
@@ -306,6 +423,10 @@ class DeltaPublisher:
             wire_seconds=wire_seconds,
             compress_seconds=compress_seconds,
             apply_seconds=tuple(apply_seconds),
+            attempts=attempts,
+            retry_backoff_seconds=backoff_total,
+            corrupted_payloads=corrupted_total,
+            succeeded=succeeded,
         )
         self.reports.append(report)
         self._obs_publish(report)
@@ -346,6 +467,21 @@ class DeltaPublisher:
             "publish_downtime_seconds",
             "serving-tier update-absorption window per publication",
         ).observe(report.downtime_seconds, mode=mode)
+        if report.corrupted_payloads:
+            reg.counter(
+                "publish_corrupt_payloads_total",
+                "payloads that failed CRC32 verification on delivery",
+            ).inc(report.corrupted_payloads)
+        if not report.succeeded:
+            reg.counter(
+                "publish_failed_rounds_total",
+                "publication rounds abandoned after exhausting retries",
+            ).inc(1)
+        if report.retry_backoff_seconds:
+            reg.counter(
+                "publish_retry_backoff_seconds_total",
+                "backoff time charged to publication retries",
+            ).inc(report.retry_backoff_seconds)
 
 
 @dataclass(frozen=True)
@@ -369,6 +505,10 @@ def build_serving_tier(
     shard_error_bound: float | None = None,
     publication_network: NetworkModel | None = None,
     compress_publication: bool = True,
+    retry_policy=None,
+    checksum: bool = False,
+    fault_injector=None,
+    keep_stale: bool = False,
 ) -> ServingTier:
     """Stand up a consistent serving tier for a trainer's model.
 
@@ -404,7 +544,8 @@ def build_serving_tier(
         for rank in range(int(n_shard_ranks))
     )
     replicas = tuple(
-        InferenceReplica(i, servers, sharding, cache_rows) for i in range(int(n_replicas))
+        InferenceReplica(i, servers, sharding, cache_rows, keep_stale=keep_stale)
+        for i in range(int(n_replicas))
     )
     publisher = DeltaPublisher(
         trainer,
@@ -413,5 +554,8 @@ def build_serving_tier(
         sharding=sharding,
         network=publication_network,
         compress=compress_publication,
+        retry_policy=retry_policy,
+        checksum=checksum,
+        fault_injector=fault_injector,
     )
     return ServingTier(servers=servers, replicas=replicas, publisher=publisher, sharding=sharding)

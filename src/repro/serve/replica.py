@@ -71,6 +71,14 @@ class InferenceReplica:
     cache_rows:
         Hot-row LRU capacity in rows; ``0`` disables caching (every
         lookup is a shard pull).
+    keep_stale:
+        Keep rows evicted by :meth:`invalidate_tables` in a bounded
+        *stale store* (same capacity as the cache) instead of dropping
+        them.  When a shard pull cannot complete — crashed shard, severed
+        link, exhausted retries — the serving simulator falls back to the
+        stale copy and counts the response as *stale* (bounded-staleness:
+        the row is exactly what the tier served before the publication
+        that displaced it), rather than degrading to a zero row.
     """
 
     def __init__(
@@ -79,6 +87,8 @@ class InferenceReplica:
         servers: Sequence[EmbeddingShardServer],
         sharding: ShardingPlan,
         cache_rows: int = 4096,
+        *,
+        keep_stale: bool = False,
     ):
         if cache_rows < 0:
             raise ValueError(f"cache_rows must be >= 0, got {cache_rows}")
@@ -98,7 +108,9 @@ class InferenceReplica:
         self.servers = tuple(servers)
         self.sharding = sharding
         self.cache_rows = int(cache_rows)
+        self.keep_stale = bool(keep_stale)
         self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._stale: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -132,14 +144,45 @@ class InferenceReplica:
 
     def invalidate_tables(self, table_ids) -> int:
         """Drop cached rows of the given tables (delta publication made
-        them stale); returns the number of rows dropped."""
+        them stale); returns the number of rows dropped.
+
+        With ``keep_stale``, displaced rows move into the bounded stale
+        store (newest-first eviction at ``cache_rows`` capacity) so
+        degraded serving can still answer from a known-bounded past state.
+        """
         table_ids = set(int(t) for t in table_ids)
         stale = [key for key in self._cache if key[0] in table_ids]
         for key in stale:
-            del self._cache[key]
+            row = self._cache.pop(key)
+            if self.keep_stale and self.cache_rows:
+                if key in self._stale:
+                    self._stale.move_to_end(key)
+                self._stale[key] = row
+                while len(self._stale) > self.cache_rows:
+                    self._stale.popitem(last=False)
         return len(stale)
 
+    def stale_lookup(self, table_id: int, row_id: int) -> np.ndarray | None:
+        """A displaced row from the stale store, if one is held (the copy
+        the tier served before the publication that invalidated it)."""
+        return self._stale.get((int(table_id), int(row_id)))
+
     # -------------------------------------------------------------- lookups
+
+    def cache_lookup(self, table_id: int, row_id: int) -> np.ndarray | None:
+        """One table's cache probe, with hit/miss accounting (the
+        fault-aware serving path, which drives pulls itself)."""
+        row = self._cache_get((int(table_id), int(row_id)))
+        if row is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return row
+
+    def admit_row(self, table_id: int, row_id: int, row: np.ndarray) -> None:
+        """Admit one pulled row to the LRU (the fault-aware path admits
+        only rows whose pull actually completed)."""
+        self._cache_put((int(table_id), int(row_id)), row)
 
     def gather(self, sparse: np.ndarray) -> GatherResult:
         """Gather one request's embedding rows (one id per table).

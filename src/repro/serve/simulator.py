@@ -36,6 +36,7 @@ from repro.adaptive.selection import PAPER_A100_PROFILE, DeviceThroughputProfile
 from repro.dist.gpu import A100_LIKE, GpuModel
 from repro.dist.network import NetworkModel
 from repro.dist.timeline import EventCategory, Timeline
+from repro.faults.breaker import CircuitBreaker
 from repro.model.config import DLRMConfig
 from repro.nn.interaction import DotInteraction
 from repro.obs.registry import Histogram
@@ -69,6 +70,22 @@ class ServingReport:
     makespan: float
     replica_busy_seconds: tuple[float, ...]
     replica_requests: tuple[int, ...]
+    #: graceful-degradation accounting (zeros on healthy runs)
+    stale_rows: int = 0  # rows answered from the stale store (bounded past state)
+    degraded_rows: int = 0  # rows answered as zeros (partial fan-out)
+    stale_requests: int = 0  # requests containing >= 1 stale row
+    degraded_requests: int = 0  # requests containing >= 1 degraded row
+    impaired_requests: int = 0  # requests containing >= 1 stale or degraded row
+    pull_retries: int = 0
+    pull_timeouts: int = 0
+    breaker_fast_fails: int = 0
+    hedged_pulls: int = 0
+
+    @property
+    def fresh_requests(self) -> int:
+        """Requests answered entirely from live state (neither stale nor
+        degraded rows)."""
+        return self.n_requests - self.impaired_requests
 
     @property
     def mean_replica_utilization(self) -> float:
@@ -103,6 +120,28 @@ class ServingSimulator:
         link.  Without one, every pull pays the flat point-to-point cost.
     gpu / profile:
         Device cost model and per-codec decode throughputs.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  When
+        present, every shard pull is evaluated against the fault plan at
+        its simulated start time: a crashed shard or severed link turns
+        the pull into a timeout, a degraded link stretches its wire time
+        (and times out if stretched past the retry policy's budget).
+    retry_policy:
+        :class:`~repro.faults.retry.RetryPolicy` for shard pulls — per
+        pull-group timeout, capped exponential backoff, deterministic
+        jitter, all elapsing on the request's service time.  Defaults to
+        a single attempt with a 50 ms timeout when only a fault injector
+        is given.
+    hedge_delay:
+        Optional hedged-pull delay: if a pull group's first attempt has
+        not completed after this many seconds, a second identical pull is
+        issued and the request takes whichever finishes first — the
+        classic tail-latency hedge, effective when slowness is transient.
+    breaker_failure_threshold / breaker_reset_seconds:
+        Per-shard circuit breaker: after this many consecutive pull
+        failures the shard is failed fast (degraded answers, no timeout
+        waits) until the reset window elapses and a half-open probe
+        succeeds.
     """
 
     def __init__(
@@ -112,6 +151,12 @@ class ServingSimulator:
         network: NetworkModel | None = None,
         gpu: GpuModel = A100_LIKE,
         profile: DeviceThroughputProfile = PAPER_A100_PROFILE,
+        *,
+        fault_injector=None,
+        retry_policy=None,
+        hedge_delay: float | None = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_seconds: float = 0.25,
     ):
         if not replicas:
             raise ValueError("need at least one replica")
@@ -122,6 +167,8 @@ class ServingSimulator:
             )
             if not same_servers or replica.sharding != first.sharding:
                 raise ValueError("all replicas must share one shard-server tier")
+        if hedge_delay is not None and hedge_delay <= 0:
+            raise ValueError(f"hedge_delay must be > 0, got {hedge_delay!r}")
         self.replicas = tuple(replicas)
         self.config = config
         self.network = network if network is not None else NetworkModel()
@@ -129,6 +176,23 @@ class ServingSimulator:
         self.profile = profile
         self.n_replicas = len(self.replicas)
         self.n_shards = first.sharding.n_ranks
+        self.fault_injector = fault_injector
+        self.hedge_delay = hedge_delay
+        if retry_policy is None and fault_injector is not None:
+            from repro.faults.retry import RetryPolicy
+
+            retry_policy = RetryPolicy(max_attempts=1)
+        self.retry_policy = retry_policy
+        #: fault-aware mode: per-pull timeouts/retries/breakers/fallbacks.
+        #: Off (both None) the pricing path is byte-identical to before.
+        self._faulty = retry_policy is not None
+        self._breakers = tuple(
+            CircuitBreaker(
+                failure_threshold=breaker_failure_threshold,
+                reset_timeout_seconds=breaker_reset_seconds,
+            )
+            for _ in range(self.n_shards)
+        )
         total_ranks = self.n_replicas + self.n_shards
         if (
             self.network.topology is not None
@@ -195,6 +259,163 @@ class ServingSimulator:
             raw_nbytes=result.pulled_raw_nbytes,
         )
 
+    # ----------------------------------------------------- fault-aware path
+
+    def _pull_wire_seconds_at(
+        self, replica_index: int, shard_rank: int, nbytes: int, t: float
+    ) -> float | None:
+        """One pull's wire time with the fault plan applied at time ``t``;
+        ``None`` when the shard or its link is unreachable."""
+        injector = self.fault_injector
+        if injector is None:
+            return self._pull_wire_seconds(replica_index, shard_rank, nbytes)
+        if injector.shard_down(shard_rank, t):
+            return None
+        src = self.n_replicas + shard_rank
+        state = injector.link_state(src, replica_index, t)
+        if not state.up:
+            return None
+        topology = self.network.topology
+        if topology is None:
+            base = self.network.point_to_point_time(nbytes)
+            return base / state.bandwidth_factor + state.extra_latency
+        return float(
+            topology.latency_matrix[src, replica_index]
+            + state.extra_latency
+            + nbytes / (topology.bandwidth_matrix[src, replica_index] * state.bandwidth_factor)
+        )
+
+    def _service_under_faults(
+        self, replica_index: int, request: Request, start: float, request_index: int
+    ) -> tuple[float, "GatherStats"]:
+        """Price one request with per-pull timeouts, retries, hedging, the
+        per-shard circuit breakers, and graceful fallbacks.
+
+        Pull groups (one per contacted shard) still fan out concurrently;
+        inside a group, failed attempts (timeout charged), backoff waits,
+        and the eventual transfer elapse serially on the request's clock.
+        A group that exhausts its attempts — or is failed fast by an open
+        breaker — degrades its tables: the stale store answers with the
+        bounded pre-publication copy if it holds the row, otherwise the
+        row is zeros (partial fan-out).  Both are counted, never silently
+        served as fresh.
+        """
+        replica = self.replicas[replica_index]
+        policy = self.retry_policy
+        sparse = np.asarray(request.sparse, dtype=np.int64)
+        n_tables = replica.sharding.n_tables
+        hits = 0
+        by_shard: dict[int, list[tuple[int, int]]] = {}
+        for table_id in range(n_tables):
+            row_id = int(sparse[table_id])
+            row = replica.cache_lookup(table_id, row_id)
+            if row is not None:
+                hits += 1
+            else:
+                by_shard.setdefault(replica.sharding.owner_of(table_id), []).append(
+                    (table_id, row_id)
+                )
+
+        decode = 0.0
+        group_elapsed: list[float] = []
+        blocks = compressed_nbytes = raw_nbytes = 0
+        fanout_ranks: set[int] = set()
+        stale_rows = degraded_rows = retries = timeouts = fast_fails = hedged = 0
+        for shard_rank in sorted(by_shard):
+            entries = by_shard[shard_rank]
+            # The real pulls (numerics + byte sizes); data is used — and
+            # admitted to the cache — only if an attempt completes.
+            pulled = [
+                replica.servers[shard_rank].pull(
+                    table_id, np.array([row_id], dtype=np.int64)
+                )
+                for table_id, row_id in entries
+            ]
+            group_nbytes = [p.compressed_nbytes for p in pulled]
+            breaker = self._breakers[shard_rank]
+            t = start
+            succeeded = False
+            for attempt in range(policy.max_attempts):
+                if not breaker.allows(t):
+                    fast_fails += 1
+                    break
+                if attempt:
+                    retries += 1
+                    t += policy.backoff_seconds(
+                        attempt, "pull", replica_index, request_index, shard_rank
+                    )
+                wire = self._group_wire(replica_index, shard_rank, group_nbytes, t)
+                if (
+                    wire is not None
+                    and self.hedge_delay is not None
+                    and wire > self.hedge_delay
+                ):
+                    # Hedge: a second identical pull starts hedge_delay
+                    # later; the request takes whichever finishes first.
+                    hedged += 1
+                    hedge_wire = self._group_wire(
+                        replica_index, shard_rank, group_nbytes, t + self.hedge_delay
+                    )
+                    if hedge_wire is not None:
+                        wire = min(wire, self.hedge_delay + hedge_wire)
+                if wire is None or wire > policy.timeout_seconds:
+                    timeouts += 1
+                    t += policy.timeout_seconds
+                    breaker.record_failure(t)
+                    continue
+                t += wire
+                breaker.record_success(t)
+                succeeded = True
+                break
+            group_elapsed.append(t - start)
+            if succeeded:
+                fanout_ranks.add(shard_rank)
+                for (table_id, row_id), pull in zip(entries, pulled):
+                    replica.admit_row(table_id, row_id, pull.rows[0])
+                    decode += self.gpu.throughput_kernel_time(
+                        pull.raw_nbytes, self.profile.for_codec(pull.codec).decompress
+                    )
+                    blocks += pull.blocks_touched
+                    compressed_nbytes += pull.compressed_nbytes
+                    raw_nbytes += pull.raw_nbytes
+            else:
+                for table_id, row_id in entries:
+                    if replica.stale_lookup(table_id, row_id) is not None:
+                        stale_rows += 1
+                    else:
+                        degraded_rows += 1
+
+        wire = max(group_elapsed, default=0.0)
+        seconds = wire + decode + self._inference_seconds
+        misses = sum(len(v) for v in by_shard.values())
+        return seconds, GatherStats(
+            hits=hits,
+            misses=misses,
+            fanout=len(fanout_ranks),
+            blocks=blocks,
+            compressed_nbytes=compressed_nbytes,
+            raw_nbytes=raw_nbytes,
+            stale_rows=stale_rows,
+            degraded_rows=degraded_rows,
+            retries=retries,
+            timeouts=timeouts,
+            fast_fails=fast_fails,
+            hedged=hedged,
+        )
+
+    def _group_wire(
+        self, replica_index: int, shard_rank: int, nbytes_list: Sequence[int], t: float
+    ) -> float | None:
+        """Wire time of one shard's pull group starting at ``t`` (pulls on
+        one shard->replica link serialize); ``None`` if unreachable."""
+        total = 0.0
+        for nbytes in nbytes_list:
+            wire = self._pull_wire_seconds_at(replica_index, shard_rank, nbytes, t)
+            if wire is None:
+                return None
+            total += wire
+        return total
+
     # ------------------------------------------------------------------ run
 
     def run(
@@ -245,6 +466,9 @@ class ServingSimulator:
         )
         hits = misses = blocks = 0
         compressed_nbytes = raw_nbytes = 0
+        stale_rows = degraded_rows = 0
+        stale_requests = degraded_requests = impaired_requests = 0
+        pull_retries = pull_timeouts = breaker_fast_fails = hedged_pulls = 0
         fanouts = np.empty(len(requests), dtype=np.float64)
         first_arrival = min(r.arrival_seconds for r in requests)
         last_completion = 0.0
@@ -253,8 +477,13 @@ class ServingSimulator:
         pending: list[list[float]] = [[] for _ in range(self.n_replicas)]
         for i, request in enumerate(requests):
             replica_index = i % self.n_replicas
-            seconds, stats = self.service_seconds(replica_index, request)
             start = max(request.arrival_seconds, free[replica_index])
+            if self._faulty:
+                seconds, stats = self._service_under_faults(
+                    replica_index, request, start, i
+                )
+            else:
+                seconds, stats = self.service_seconds(replica_index, request)
             completion = start + seconds
             free[replica_index] = completion
             busy[replica_index] += seconds
@@ -269,23 +498,39 @@ class ServingSimulator:
             compressed_nbytes += stats.compressed_nbytes
             raw_nbytes += stats.raw_nbytes
             fanouts[i] = stats.fanout
+            stale_rows += stats.stale_rows
+            degraded_rows += stats.degraded_rows
+            stale_requests += 1 if stats.stale_rows else 0
+            degraded_requests += 1 if stats.degraded_rows else 0
+            impaired_requests += 1 if (stats.stale_rows or stats.degraded_rows) else 0
+            pull_retries += stats.retries
+            pull_timeouts += stats.timeouts
+            breaker_fast_fails += stats.fast_fails
+            hedged_pulls += stats.hedged
             if trace is not None:
                 arrival = request.arrival_seconds
                 for queue in pending:
                     while queue and queue[0] <= arrival:
                         queue.pop(0)
                 pending[replica_index].append(completion)
+                request_args = {
+                    "request": i,
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "fanout": stats.fanout,
+                }
+                if stats.stale_rows:
+                    request_args["stale_rows"] = stats.stale_rows
+                if stats.degraded_rows:
+                    request_args["degraded_rows"] = stats.degraded_rows
+                if stats.retries:
+                    request_args["retries"] = stats.retries
                 trace.record(
                     replica_index,
                     EventCategory.SERVE_REQUEST,
                     start,
                     seconds,
-                    args={
-                        "request": i,
-                        "hits": stats.hits,
-                        "misses": stats.misses,
-                        "fanout": stats.fanout,
-                    },
+                    args=request_args,
                 )
                 trace.record_counter(
                     "serve_queue_depth", arrival, float(sum(map(len, pending)))
@@ -307,6 +552,33 @@ class ServingSimulator:
                 reg.histogram(
                     "serve_fanout", "distinct shard nodes pulled per request"
                 ).observe(stats.fanout)
+                if stats.stale_rows:
+                    reg.counter(
+                        "serve_stale_rows_total",
+                        "rows answered from the stale store (bounded past state)",
+                    ).inc(stats.stale_rows)
+                if stats.degraded_rows:
+                    reg.counter(
+                        "serve_degraded_rows_total",
+                        "rows answered as zeros after pull failure (partial fan-out)",
+                    ).inc(stats.degraded_rows)
+                if stats.retries:
+                    reg.counter(
+                        "serve_pull_retries_total", "shard-pull retry attempts"
+                    ).inc(stats.retries)
+                if stats.timeouts:
+                    reg.counter(
+                        "serve_pull_timeouts_total", "shard pulls that timed out"
+                    ).inc(stats.timeouts)
+                if stats.fast_fails:
+                    reg.counter(
+                        "serve_breaker_fast_fails_total",
+                        "pull groups failed fast by an open circuit breaker",
+                    ).inc(stats.fast_fails)
+                if stats.hedged:
+                    reg.counter(
+                        "serve_hedged_pulls_total", "pull groups that issued a hedge"
+                    ).inc(stats.hedged)
         makespan = last_completion - first_arrival
         total_lookups = hits + misses
         return ServingReport(
@@ -332,6 +604,15 @@ class ServingSimulator:
             makespan=makespan,
             replica_busy_seconds=tuple(busy),
             replica_requests=tuple(counts),
+            stale_rows=stale_rows,
+            degraded_rows=degraded_rows,
+            stale_requests=stale_requests,
+            degraded_requests=degraded_requests,
+            impaired_requests=impaired_requests,
+            pull_retries=pull_retries,
+            pull_timeouts=pull_timeouts,
+            breaker_fast_fails=breaker_fast_fails,
+            hedged_pulls=hedged_pulls,
         )
 
 
@@ -345,3 +626,10 @@ class GatherStats:
     blocks: int
     compressed_nbytes: int
     raw_nbytes: int
+    #: fault-aware accounting (zeros on the healthy path)
+    stale_rows: int = 0
+    degraded_rows: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    fast_fails: int = 0
+    hedged: int = 0

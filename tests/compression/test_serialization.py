@@ -131,3 +131,79 @@ class TestPackMeta:
         assert meta1 == {"a": 1}
         assert meta2 == {"b": "x"}
         assert end == len(blob)
+
+
+class TestChecksumFrame:
+    """The opt-in CRC32 envelope (satellite of the fault-injection PR)."""
+
+    def test_roundtrip(self):
+        from repro.compression.serialization import (
+            CHECKSUM_MAGIC,
+            frame_with_checksum,
+            has_checksum,
+            verify_checksum_frame,
+        )
+
+        body = b"compressed delta payload"
+        framed = frame_with_checksum(body)
+        assert framed[0] == CHECKSUM_MAGIC
+        assert len(framed) == len(body) + 5
+        assert has_checksum(framed) and not has_checksum(body)
+        assert verify_checksum_frame(framed) == body
+
+    def test_empty_body_roundtrips(self):
+        from repro.compression.serialization import frame_with_checksum, verify_checksum_frame
+
+        assert verify_checksum_frame(frame_with_checksum(b"")) == b""
+
+    @pytest.mark.parametrize("position", [5, 10, 23])
+    def test_bit_flip_detected(self, position):
+        from repro.compression.serialization import (
+            CorruptPayloadError,
+            frame_with_checksum,
+            verify_checksum_frame,
+        )
+
+        framed = bytearray(frame_with_checksum(bytes(range(32))))
+        framed[position] ^= 0x40
+        with pytest.raises(CorruptPayloadError, match="CRC32"):
+            verify_checksum_frame(bytes(framed))
+
+    def test_damaged_digest_detected(self):
+        from repro.compression.serialization import (
+            CorruptPayloadError,
+            frame_with_checksum,
+            verify_checksum_frame,
+        )
+
+        framed = bytearray(frame_with_checksum(b"payload"))
+        framed[2] ^= 0x01  # inside the stored digest
+        with pytest.raises(CorruptPayloadError):
+            verify_checksum_frame(bytes(framed))
+
+    def test_unframed_payload_rejected_as_value_error(self):
+        from repro.compression.serialization import CorruptPayloadError, verify_checksum_frame
+
+        with pytest.raises(ValueError) as err:
+            verify_checksum_frame(b"no envelope here")
+        assert not isinstance(err.value, CorruptPayloadError)
+
+    @given(st.binary(max_size=256))
+    def test_roundtrip_property(self, body):
+        from repro.compression.serialization import frame_with_checksum, verify_checksum_frame
+
+        assert verify_checksum_frame(frame_with_checksum(body)) == body
+
+    def test_decompress_any_strips_envelope(self):
+        """The registry-level decoder verifies and unwraps transparently,
+        so receivers need no knowledge of whether framing was enabled."""
+        import numpy as np
+
+        from repro.compression import HybridCompressor, decompress_any
+        from repro.compression.serialization import frame_with_checksum
+
+        data = np.linspace(-1.0, 1.0, 512, dtype=np.float32).reshape(64, 8)
+        payload = HybridCompressor().compress(data, 1e-2)
+        plain = decompress_any(payload)
+        framed = decompress_any(frame_with_checksum(payload))
+        assert np.array_equal(plain, framed)

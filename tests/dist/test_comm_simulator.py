@@ -473,3 +473,25 @@ class TestMultiPayload:
         batched.comm.all_to_all([[[b"x" * 400, b"y" * 600]] * 4] * 4)
         single.comm.all_to_all([[b"z" * 1000] * 4] * 4)
         assert batched.makespan() == pytest.approx(single.makespan())
+
+
+class TestPayloadMetadataMismatch:
+    def test_mismatched_batch_names_rank_and_counts(self, sim):
+        """A sender whose posted batch disagrees with its advertised
+        metadata count fails with the rank and both counts — not a bare
+        KeyError/IndexError downstream."""
+        entries = np.full((4, 4), 2)
+        sendbufs = [[[b"a", b"b"] for _ in range(4)] for _ in range(4)]
+        sendbufs[2][1] = [b"only-one"]
+        with pytest.raises(ValueError, match=r"rank 2 posted 1 payload\(s\) for rank 1"):
+            sim.comm.compressed_all_to_all(sendbufs, entries_per_pair=entries)
+
+    def test_matching_batches_pass(self, sim):
+        entries = np.full((4, 4), 2)
+        sendbufs = [[[b"a", b"b"] for _ in range(4)] for _ in range(4)]
+        received = sim.comm.compressed_all_to_all(sendbufs, entries_per_pair=entries)
+        assert received[0][3] == [b"a", b"b"]
+
+    def test_scalar_entries_skip_the_check(self, sim):
+        sendbufs = [[b"payload"] * 4 for _ in range(4)]
+        sim.comm.compressed_all_to_all(sendbufs, entries_per_pair=3)

@@ -11,8 +11,9 @@ from repro.profiling.breakdown import CATEGORY_LABELS
 class TestEventCategory:
     def test_all_fifteen_stages_present(self):
         # 15 pipeline stages + 3 observability annotation categories
-        # (train_step / publish / serve_request spans).
-        assert len(list(EventCategory)) == 18
+        # (train_step / publish / serve_request spans) + 4 fault-tolerance
+        # categories (retry / checkpoint / restore / fault spans).
+        assert len(list(EventCategory)) == 22
 
     def test_labels_cover_every_category(self):
         # Every member — including the obs/serve annotation categories —

@@ -1,0 +1,176 @@
+"""ServingSimulator under faults: retries, breakers, stale fallback, and
+the no-silent-degradation accounting invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticClickDataset, make_uniform_spec
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, ShardCrashFault
+from repro.model import DLRM, DLRMConfig
+from repro.serve import (
+    EmbeddingShardServer,
+    InferenceReplica,
+    RequestLoadGenerator,
+    ServingSimulator,
+)
+from repro.train.sharding import ShardingPlan
+
+N_TABLES = 6
+ROWS = 300
+QPS = 2000.0
+
+
+@pytest.fixture(scope="module")
+def world():
+    spec = make_uniform_spec(
+        "faults-serve", n_tables=N_TABLES, cardinality=ROWS, zipf_exponent=1.4
+    )
+    dataset = SyntheticClickDataset(spec, seed=61)
+    config = DLRMConfig.from_dataset(spec, embedding_dim=8, seed=62)
+    model = DLRM(config)
+    return dataset, config, model
+
+
+def build_replicas(model, cache_rows=256, n_replicas=2, keep_stale=False):
+    sharding = ShardingPlan.round_robin(N_TABLES, 2)
+    servers = [
+        EmbeddingShardServer.from_model(
+            model, sharding.tables_of(rank), error_bound=1e-2, rows_per_block=32
+        )
+        for rank in range(2)
+    ]
+    return [
+        InferenceReplica(i, servers, sharding, cache_rows, keep_stale=keep_stale)
+        for i in range(n_replicas)
+    ]
+
+
+def run_faulty(world, crashes, *, n_requests=150, max_attempts=2, timeout=0.005,
+               cache_rows=256, keep_stale=False, hedge_delay=None):
+    dataset, config, model = world
+    replicas = build_replicas(model, cache_rows=cache_rows, keep_stale=keep_stale)
+    injector = FaultInjector(FaultPlan(shard_crashes=tuple(crashes)), seed=1)
+    sim = ServingSimulator(
+        replicas,
+        config,
+        fault_injector=injector,
+        retry_policy=RetryPolicy(
+            max_attempts=max_attempts, timeout_seconds=timeout, seed=1
+        ),
+        hedge_delay=hedge_delay,
+        breaker_reset_seconds=0.01,
+    )
+    requests = RequestLoadGenerator(dataset, qps=QPS, seed=9).generate(n_requests)
+    return sim.run(requests)
+
+
+class TestHealthyEquivalence:
+    def test_no_injector_path_is_untouched(self, world):
+        """Without fault kwargs the report matches the pre-fault baseline
+        shape: zero retries/timeouts/degradations, and two identical runs
+        agree exactly."""
+        dataset, config, model = world
+        reports = []
+        for _ in range(2):
+            replicas = build_replicas(model)
+            sim = ServingSimulator(replicas, config)
+            requests = RequestLoadGenerator(dataset, qps=QPS, seed=9).generate(100)
+            reports.append(sim.run(requests))
+        a, b = reports
+        assert a == b
+        assert a.impaired_requests == 0
+        assert a.pull_retries == a.pull_timeouts == a.breaker_fast_fails == 0
+        assert a.stale_rows == a.degraded_rows == 0
+        assert a.fresh_requests == a.n_requests
+
+    def test_faulty_path_with_empty_plan_serves_everything_fresh(self, world):
+        report = run_faulty(world, [])
+        assert report.impaired_requests == 0
+        assert report.stale_rows == report.degraded_rows == 0
+        assert report.pull_timeouts == report.breaker_fast_fails == 0
+        assert report.fresh_requests == report.n_requests
+
+
+class TestCrashedShard:
+    def test_permanent_crash_degrades_but_answers(self, world):
+        """Shard 0 down the whole trace: every request still completes,
+        misses on shard-0 tables degrade, and the breaker converts the
+        steady state into fast-fails instead of timeout queues."""
+        report = run_faulty(
+            world, [ShardCrashFault(shard_rank=0, start=0.0, duration=1e6)],
+            cache_rows=0,  # every lookup must pull
+        )
+        assert report.n_requests == report.fresh_requests + report.impaired_requests
+        assert report.impaired_requests == report.n_requests  # shard 0 owns 3 tables
+        assert report.degraded_rows > 0
+        assert report.pull_timeouts > 0
+        assert report.breaker_fast_fails > 0
+        assert report.breaker_fast_fails > report.pull_timeouts  # fail-fast dominates
+
+    def test_short_crash_recovers_via_retries(self, world):
+        """A crash shorter than the retry budget: requests ride it out
+        with retries and nothing is silently degraded."""
+        report = run_faulty(
+            world,
+            [ShardCrashFault(shard_rank=0, start=0.0, duration=0.004)],
+            max_attempts=3,
+            timeout=0.005,
+        )
+        assert report.pull_retries + report.pull_timeouts > 0
+        assert report.n_requests == report.fresh_requests + report.impaired_requests
+
+    def test_stale_fallback_served_from_pre_publication_copy(self, world):
+        """keep_stale replicas answer a crashed shard from the displaced
+        copy — counted stale, not silently fresh, and numerically equal to
+        what the cache held before invalidation."""
+        dataset, config, model = world
+        replicas = build_replicas(model, keep_stale=True)
+        replica = replicas[0]
+        shard0_tables = [t for t in range(N_TABLES) if replica.sharding.owner_of(t) == 0]
+        # Warm the cache, then invalidate (as a delta publication would).
+        row_id = 7
+        warmed = {}
+        for t in shard0_tables:
+            pull = replica.servers[0].pull(t, np.array([row_id], dtype=np.int64))
+            replica.admit_row(t, row_id, pull.rows[0])
+            warmed[t] = pull.rows[0].copy()
+        assert replica.invalidate_tables(shard0_tables) == len(shard0_tables)
+        for t in shard0_tables:
+            stale = replica.stale_lookup(t, row_id)
+            assert stale is not None
+            assert np.array_equal(stale, warmed[t])
+        assert replica.stale_lookup(shard0_tables[0], row_id + 1) is None
+
+    def test_hedged_pulls_fire_when_primary_is_slow(self, world):
+        report = run_faulty(world, [], hedge_delay=1e-9, cache_rows=0)
+        assert report.hedged_pulls > 0
+        assert report.impaired_requests == 0
+
+
+class TestAccountingInvariants:
+    @settings(deadline=None, max_examples=12)
+    @given(
+        start=st.floats(min_value=0.0, max_value=0.05),
+        duration=st.floats(min_value=1e-4, max_value=0.2),
+        shard=st.integers(min_value=0, max_value=1),
+    )
+    def test_no_silent_degradation_under_any_outage_window(
+        self, world, start, duration, shard
+    ):
+        """Hypothesis sweep: whatever the crash window, every request is
+        accounted fresh xor impaired, degraded/stale rows appear only on
+        impaired requests, and determinism holds per window."""
+        crashes = [ShardCrashFault(shard_rank=shard, start=start, duration=duration)]
+        report = run_faulty(world, crashes)
+        assert report.n_requests == report.fresh_requests + report.impaired_requests
+        if report.impaired_requests == 0:
+            assert report.stale_rows == report.degraded_rows == 0
+        else:
+            assert report.stale_rows + report.degraded_rows > 0
+        assert report.stale_requests <= report.impaired_requests
+        assert report.degraded_requests <= report.impaired_requests
+        assert run_faulty(world, crashes) == report  # deterministic replay
