@@ -69,6 +69,15 @@ def test_every_kernel_covered_on_every_shape(records):
         ("lz4_like", "decode"),
         ("fzgpu_like", "pack"),
         ("fzgpu_like", "unpack"),
+        ("checksum", "frame"),
+        ("checksum", "verify"),
+        ("serve_degraded", "pull"),
+        ("parallel_hybrid", "workers1"),
+        ("parallel_hybrid", "workers2"),
+        ("parallel_hybrid", "workers4"),
+        ("zero_copy", "frame"),
+        ("zero_copy", "verify"),
+        ("zero_copy", "compress_into"),
     }
     assert keys == expected
     for shape in PAPER_SHAPES:
@@ -175,6 +184,55 @@ def test_obs_instrumentation_overhead_bounded(records):
         assert aggregate >= 0.90, f"hybrid_obs {op} enabled/disabled ratio {aggregate:.3f}"
 
 
+def test_parallel_hybrid_efficiency(records):
+    """Raw-speed PR tentpole claim: the multicore executor reaches >= 1.5x
+    over the serial loop at 4 workers on the paper's largest shapes —
+    *where 4 cores exist*.  On smaller boxes (CI containers are often
+    single-core) the rows still land in the trajectory, pinned only to a
+    sanity floor: parallel dispatch must not collapse below ~1/3 of serial
+    throughput, and the speedup column (parallel efficiency vs the serial
+    loop, measured interleaved) must be present on every row."""
+    from repro.compression.parallel import available_workers
+
+    by_key = _by_key(records)
+    for shape in PAPER_SHAPES:
+        for workers in (1, 2, 4):
+            record = by_key[("parallel_hybrid", f"workers{workers}", shape)]
+            assert record.speedup is not None and record.speedup > 0
+            if shape in LARGE_SHAPES:
+                # Small-shape (kaggle) dispatch overhead is all overhead
+                # regime; the floor only means something where payloads
+                # amortize it.
+                assert record.speedup > 0.3, (
+                    f"parallel_hybrid workers{workers} [{shape}] efficiency {record.speedup}"
+                )
+    if available_workers() >= 4:
+        aggregate = _aggregate_speedup(records, "parallel_hybrid", "workers4")
+        assert aggregate >= 1.5, f"workers4 aggregate speedup {aggregate:.2f}"
+
+
+def test_zero_copy_allocations_reduced(records):
+    """Raw-speed PR satellite claim: the pooled/view framing paths allocate
+    a fraction of what the copying seed implementations do.  Peak
+    tracemalloc bytes per call: the envelope paths drop by >= 4x; the
+    end-to-end ``compress_into`` path (whose peak is codec-internal
+    scratch, not framing) must at least not regress."""
+    by_key = _by_key(records)
+    for shape in LARGE_SHAPES:
+        for op in ("frame", "verify"):
+            record = by_key[("zero_copy", op, shape)]
+            assert record.alloc_nbytes is not None
+            assert record.reference_alloc_nbytes is not None
+            assert record.alloc_nbytes * 4 <= record.reference_alloc_nbytes, (
+                f"zero_copy.{op} [{shape}] allocates {record.alloc_nbytes}B "
+                f"vs reference {record.reference_alloc_nbytes}B"
+            )
+        record = by_key[("zero_copy", "compress_into", shape)]
+        assert record.alloc_nbytes is not None
+        assert record.reference_alloc_nbytes is not None
+        assert record.alloc_nbytes <= record.reference_alloc_nbytes * 1.01
+
+
 def test_baseline_speedups_not_regressed(records):
     """The vectorized baselines must at least match their seed versions."""
     by_key = _by_key(records)
@@ -196,8 +254,10 @@ def test_committed_trajectory_point_exists():
 
 
 def test_current_run_within_regression_gate(records):
-    """The same 3x gate CI applies: current throughput must not have fallen
-    more than 3x below the committed baseline on any kernel."""
+    """The same gate CI applies: current throughput must not have fallen
+    below the committed baseline by more than 3x generically — or 2.5x on
+    the kernels in ``TIGHTENED_GATES``, whose committed speedups have
+    headroom to spare."""
     baseline = load_bench(BENCH_JSON)
     failures = compare_to_baseline(records, baseline, max_regression=3.0)
     assert not failures, "\n".join(failures)

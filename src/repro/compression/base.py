@@ -26,9 +26,61 @@ import numpy as np
 
 from repro.compression.serialization import pack_meta, unpack_meta
 
-__all__ = ["Compressor", "CompressionResult", "frame_payload", "parse_payload", "MAGIC"]
+__all__ = [
+    "Compressor",
+    "CompressionResult",
+    "frame_payload",
+    "frame_parts",
+    "parse_payload",
+    "MAGIC",
+]
 
 MAGIC = 0xDC  # "DLRM Compression" frame marker
+
+#: body types a codec may return: a single buffer or a list of buffer parts
+#: (each part is anything exposing the buffer protocol — bytes, memoryview,
+#: a contiguous ndarray).  Multi-part bodies let codecs hand their sections
+#: to the framer without first concatenating them into an intermediate
+#: ``bytes``; the framer performs the single final copy.
+Body = "bytes | bytearray | memoryview | np.ndarray | list"
+
+
+def _as_buffer(part) -> memoryview | bytes:
+    """Normalise one body part to a joinable flat byte buffer (no copy)."""
+    if isinstance(part, np.ndarray):
+        part = np.ascontiguousarray(part)
+        if part.nbytes == 0:  # empty views cannot be cast
+            return b""
+        return memoryview(part).cast("B")
+    if isinstance(part, memoryview):
+        if part.nbytes == 0:
+            return b""
+        return part if part.ndim == 1 and part.format == "B" else part.cast("B")
+    return part
+
+
+def frame_parts(
+    codec: str,
+    array_shape: tuple[int, ...],
+    array_dtype: np.dtype,
+    meta: dict[str, Any],
+    body,
+) -> list:
+    """Header + body as a list of buffer parts (no concatenation yet)."""
+    header = {
+        "codec": codec,
+        "dtype": np.dtype(array_dtype).str,
+        "shape": np.asarray(array_shape, dtype=np.int64),
+        **meta,
+    }
+    packed = bytearray([MAGIC])
+    packed += pack_meta(header)
+    parts: list = [bytes(packed)]
+    if isinstance(body, (list, tuple)):
+        parts.extend(_as_buffer(p) for p in body)
+    else:
+        parts.append(_as_buffer(body))
+    return parts
 
 
 def frame_payload(
@@ -36,17 +88,15 @@ def frame_payload(
     array_shape: tuple[int, ...],
     array_dtype: np.dtype,
     meta: dict[str, Any],
-    body: bytes,
+    body,
 ) -> bytes:
-    """Assemble the standard self-describing payload."""
-    header = {
-        "codec": codec,
-        "dtype": np.dtype(array_dtype).str,
-        "shape": np.asarray(array_shape, dtype=np.int64),
-        **meta,
-    }
-    packed = pack_meta(header)
-    return bytes([MAGIC]) + packed + body
+    """Assemble the standard self-describing payload.
+
+    ``body`` may be a single buffer or a sequence of buffer parts; either
+    way the payload is assembled with one copy (``bytes.join`` over views),
+    byte-identical to the historical ``header + body`` concatenation.
+    """
+    return b"".join(frame_parts(codec, array_shape, array_dtype, meta, body))
 
 
 def parse_payload(payload: bytes | memoryview) -> tuple[dict[str, Any], memoryview]:
@@ -92,8 +142,7 @@ class Compressor(ABC):
     #: whether the codec honours the ``error_bound`` argument
     error_bounded: bool = False
 
-    def compress(self, array: np.ndarray, error_bound: float | None = None) -> bytes:
-        """Compress a 2-D float batch into a self-describing payload."""
+    def _validate(self, array: np.ndarray, error_bound: float | None) -> np.ndarray:
         array = np.ascontiguousarray(array)
         if array.ndim != 2:
             raise ValueError(f"{self.name}: expected 2-D (batch, dim) array, got shape {array.shape}")
@@ -102,8 +151,37 @@ class Compressor(ABC):
         if self.error_bounded:
             if error_bound is None or not error_bound > 0:
                 raise ValueError(f"{self.name}: requires a positive error_bound, got {error_bound!r}")
+        return array
+
+    def compress(self, array: np.ndarray, error_bound: float | None = None) -> bytes:
+        """Compress a 2-D float batch into a self-describing payload."""
+        array = self._validate(array, error_bound)
         meta, body = self._compress_body(array, error_bound)
         return frame_payload(self.name, array.shape, array.dtype, meta, body)
+
+    def compress_into(self, array: np.ndarray, error_bound: float | None = None, *, pool):
+        """Compress into a pooled buffer; returns a live ``Lease``.
+
+        Byte-identical to :meth:`compress` (``bytes(lease.view)`` equals the
+        plain payload) but the framed payload lands directly in a
+        :class:`~repro.compression.parallel.BitstreamPool` arena — after the
+        pool warms up, steady-state compression allocates no payload
+        ``bytes`` at all.  The caller owns the lease and must release it
+        when the payload is no longer needed.
+        """
+        array = self._validate(array, error_bound)
+        meta, body = self._compress_body(array, error_bound)
+        parts = frame_parts(self.name, array.shape, array.dtype, meta, body)
+        total = sum(memoryview(p).nbytes for p in parts)
+        lease = pool.checkout(total)
+        pos = 0
+        for part in parts:
+            view = memoryview(part)
+            if view.ndim != 1 or view.format != "B":
+                view = view.cast("B")
+            lease.view[pos : pos + view.nbytes] = view
+            pos += view.nbytes
+        return lease
 
     def decompress(self, payload: bytes | memoryview) -> np.ndarray:
         """Reconstruct the batch from a payload produced by :meth:`compress`."""
@@ -132,6 +210,12 @@ class Compressor(ABC):
         """
         return self.compress(array, error_bound)
 
+    def compress_keyed_into(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None = None, *, pool
+    ):
+        """Keyed variant of :meth:`compress_into` (same lease contract)."""
+        return self.compress_into(array, error_bound, pool=pool)
+
     def compress_with_stats(self, array: np.ndarray, error_bound: float | None = None) -> CompressionResult:
         """Compress and return payload together with ratio accounting."""
         array = np.ascontiguousarray(array)
@@ -141,8 +225,12 @@ class Compressor(ABC):
     @abstractmethod
     def _compress_body(
         self, array: np.ndarray, error_bound: float | None
-    ) -> tuple[dict[str, Any], bytes]:
-        """Return ``(codec_meta, body_bytes)`` for a validated input."""
+    ) -> tuple[dict[str, Any], Any]:
+        """Return ``(codec_meta, body)`` for a validated input.
+
+        ``body`` is a single buffer (bytes/memoryview/contiguous ndarray)
+        or a list of such parts; the framer joins parts with one copy.
+        """
 
     @abstractmethod
     def _decompress_body(

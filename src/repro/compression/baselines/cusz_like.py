@@ -76,7 +76,7 @@ class CuszLikeCompressor(Compressor):
             "chunk_symbol_counts": encoded.chunk_symbol_counts.astype(np.int64),
             "total_symbols": int(encoded.total_symbols),
         }
-        return meta, encoded.payload.tobytes()
+        return meta, encoded.payload
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype

@@ -77,7 +77,7 @@ class Fp16Compressor(Compressor):
     error_bounded = False
 
     def _compress_body(self, array: np.ndarray, error_bound: float | None) -> tuple[dict[str, Any], bytes]:
-        return {}, array.astype(np.float16).tobytes()
+        return {}, array.astype(np.float16)
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype
@@ -93,7 +93,7 @@ class Fp8Compressor(Compressor):
     error_bounded = False
 
     def _compress_body(self, array: np.ndarray, error_bound: float | None) -> tuple[dict[str, Any], bytes]:
-        return {}, float32_to_e4m3(array.astype(np.float32)).tobytes()
+        return {}, float32_to_e4m3(array.astype(np.float32))
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype

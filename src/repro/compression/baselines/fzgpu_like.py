@@ -165,7 +165,7 @@ class FzGpuLikeCompressor(Compressor):
             )
         n = unsigned.size
         bitmap, payload, n_blocks_per_plane = pack_bitplanes(unsigned, self.block_bytes)
-        body = bitmap.tobytes() + payload.tobytes()
+        body = [bitmap, payload]
         meta = {
             "eb": float(error_bound),
             "n_values": n,

@@ -352,7 +352,7 @@ class DeflateLikeCompressor(Compressor):
             "chunk_bit_offsets": encoded.chunk_bit_offsets.astype(np.uint64),
             "chunk_symbol_counts": encoded.chunk_symbol_counts.astype(np.int64),
         }
-        return meta, encoded.payload.tobytes()
+        return meta, encoded.payload
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype

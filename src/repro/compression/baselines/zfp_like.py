@@ -120,7 +120,7 @@ class ZfpLikeCompressor(Compressor):
             "exponents": exponents.astype(np.int8),
             "shifts": shifts.astype(np.uint8),
         }
-        return meta, payload_bits.tobytes()
+        return meta, payload_bits
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype

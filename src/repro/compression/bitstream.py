@@ -11,9 +11,42 @@ Huffman streams.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-__all__ = ["pack_codes", "unpack_fixed", "bits_to_bytes", "pack_fixed", "word_table"]
+__all__ = [
+    "pack_codes",
+    "unpack_fixed",
+    "bits_to_bytes",
+    "pack_fixed",
+    "word_table",
+    "padded_stream",
+]
+
+_SCRATCH = threading.local()
+
+
+def padded_stream(data: np.ndarray, pad: int = 8) -> np.ndarray:
+    """``data`` followed by ``pad`` zero bytes, in reusable thread-local scratch.
+
+    The vectorized readers gather whole words past the last code bit, so
+    they need slack bytes after the stream.  The seed allocated a fresh
+    ``np.concatenate([data, zeros(pad)])`` per decode; this reuses one
+    per-thread buffer instead.  Safe because every reader computes fresh
+    output arrays from the scratch (nothing returned aliases it) and the
+    scratch is thread-local, so pool workers never share it.
+    """
+    data = np.asarray(data, dtype=np.uint8).ravel()
+    need = data.size + pad
+    buf = getattr(_SCRATCH, "buf", None)
+    if buf is None or buf.size < need:
+        buf = np.zeros(max(need, 4096), dtype=np.uint8)
+        _SCRATCH.buf = buf
+    out = buf[:need]
+    out[: data.size] = data
+    out[data.size :] = 0
+    return out
 
 
 def _reference_unpack_fixed(
@@ -209,7 +242,7 @@ def unpack_fixed(packed: np.ndarray, count: int, width: int, bit_offset: int = 0
     # Combine each run of bytes into one word per byte position, then a
     # single gather + shift extracts every value (a width<=57 value
     # starting mid-byte spans at most 8 bytes).
-    padded = np.concatenate([packed, np.zeros(8, dtype=np.uint8)])
+    padded = padded_stream(packed, 8)
     words, dtype, n_bytes = word_table(padded, width)
     byte_start = starts >> 3
     shift = (dtype(n_bytes * 8 - width) - (starts & 7).astype(dtype)).astype(dtype)

@@ -79,6 +79,15 @@ class EntropyCompressor(Compressor):
         finally:
             self._active_key = None
 
+    def compress_keyed_into(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None = None, *, pool
+    ):
+        self._active_key = table_key
+        try:
+            return self.compress_into(array, error_bound, pool=pool)
+        finally:
+            self._active_key = None
+
     def _compress_body(self, array: np.ndarray, error_bound: float | None) -> tuple[dict[str, Any], bytes]:
         batch = quantize_batch(array, float(error_bound))
         symbols = batch.codes.ravel()
@@ -120,7 +129,9 @@ class EntropyCompressor(Compressor):
             "chunk_symbol_counts": encoded.chunk_symbol_counts.astype(np.int64),
             "total_symbols": int(encoded.total_symbols),
         }
-        return meta, encoded.payload.tobytes()
+        # The bitstream array goes to the framer as a buffer part — one copy
+        # into the framed payload, no tobytes() round-trip.
+        return meta, encoded.payload
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype

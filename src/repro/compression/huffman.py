@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.bitstream import _reference_pack_codes, pack_codes, word_table
+from repro.compression.bitstream import _reference_pack_codes, pack_codes, padded_stream, word_table
 from repro.compression.cache import LruCache
 
 __all__ = [
@@ -522,7 +522,7 @@ def huffman_decode(encoded: HuffmanEncoded) -> np.ndarray:
         return np.full(encoded.total_symbols, int(used[0]), dtype=np.int64)
     table_sym, table_len, max_len = _peek_tables_for(lengths)
     total_bits = encoded.payload.size * 8
-    padded = np.concatenate([encoded.payload, np.zeros(8, dtype=np.uint8)])
+    padded = padded_stream(encoded.payload, 8)
     windows = _sliding_windows(padded, 0, total_bits, max_len)
     steps = np.take(table_len, windows)  # uint8: code length at every bit offset
     # Successor array with a self-looping sentinel slot at total_bits; a

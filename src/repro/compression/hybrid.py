@@ -94,6 +94,12 @@ class HybridCompressor(Compressor):
             if pinned == "lz":
                 return self._lz.compress(array, error_bound)
             return self._entropy.compress_keyed(table_key, array, error_bound)
+        return self._trial_keyed(table_key, array, error_bound)
+
+    def _trial_keyed(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None
+    ) -> bytes:
+        """Try-both trial round: compress with both legs, pin the winner."""
         prior = self.pins.pins.get(table_key)
         lz = self._lz.compress(array, error_bound)
         huff = self._entropy.compress_keyed(table_key, array, error_bound)
@@ -110,6 +116,45 @@ class HybridCompressor(Compressor):
                     "trials whose winner differed from the expiring pin (codec churn)",
                 ).inc(1)
         return lz if winner == "lz" else huff
+
+    def compress_into(self, array: np.ndarray, error_bound: float | None = None, *, pool):
+        """Pooled variant of :meth:`compress`.
+
+        Pinned ``encoder=`` modes assemble the winning leg's payload
+        directly into the lease; ``auto`` mode must materialize both
+        candidates anyway, so the winner is copied into the lease.
+        """
+        if self.encoder == "lz":
+            return self._lz.compress_into(array, error_bound, pool=pool)
+        if self.encoder == "huffman":
+            return self._entropy.compress_into(array, error_bound, pool=pool)
+        return pool.checkout_bytes(self.compress(array, error_bound))
+
+    def compress_keyed_into(
+        self, table_key: Any, array: np.ndarray, error_bound: float | None = None, *, pool
+    ):
+        """Pooled variant of :meth:`compress_keyed` (same pin semantics).
+
+        Pinned replays — the steady state under ``pin_refresh`` — land in
+        the lease with zero intermediate payload allocation; the rare
+        try-both trial rounds copy the winner in.
+        """
+        if self.encoder == "lz":
+            return self._lz.compress_into(array, error_bound, pool=pool)
+        if self.encoder == "huffman":
+            return self._entropy.compress_keyed_into(table_key, array, error_bound, pool=pool)
+        if self.pins is None or table_key is None:
+            return pool.checkout_bytes(self._compress_auto(table_key, array, error_bound))
+        pinned = self.pins.pinned(table_key)
+        if pinned is not None:
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "hybrid_pin_replay_total", "pinned-encoder replays (trial skipped)"
+                ).inc(1, encoder=pinned)
+            if pinned == "lz":
+                return self._lz.compress_into(array, error_bound, pool=pool)
+            return self._entropy.compress_keyed_into(table_key, array, error_bound, pool=pool)
+        return pool.checkout_bytes(self._trial_keyed(table_key, array, error_bound))
 
     def _compress_auto(
         self, table_key: Any, array: np.ndarray, error_bound: float | None

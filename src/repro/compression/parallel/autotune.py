@@ -1,0 +1,169 @@
+"""Exchange autotuning: pick pipeline chunking and codec parallelism.
+
+The pipelined compressed all-to-all hides compression behind the wire (and
+vice versa); how much hiding is possible depends on the *measured* balance
+between compress time ``C`` and wire time ``W``:
+
+* **Chunk count** — more chunks mean finer overlap but more per-chunk
+  overhead.  The tuner interpolates between ``min_chunks`` and
+  ``max_chunks`` with the wire fraction ``rho = W / (C + W)``: a
+  wire-bound exchange (``rho → 1``) gets the finest pipeline, a
+  compute-bound one (``rho → 0``) keeps chunks coarse.  The mapping
+  ``k = min + round((max - min) * rho)`` is monotone in ``rho`` by
+  construction — more wire-bound never yields fewer chunks (property
+  tested).
+* **Worker count** — parallel codec workers only pay off while compression
+  is the critical path.  The tuner picks the smallest ladder rung ``w``
+  with ``C / w <= W`` (compression fully hidden behind the wire), falling
+  back to the top rung when even that cannot hide it.  Monotone in
+  ``C / W`` by construction.
+
+Observations are EMA-smoothed so a single straggler iteration cannot whip
+the decision around.  Feed the tuner directly (the trainer knows its
+per-exchange compress/wire seconds) or from the :mod:`repro.obs` stage
+counters via :meth:`ExchangeAutotuner.observe_registry`, which diffs the
+``comm_seconds_total{stage=...}`` counters the Communicator already emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExchangeAutotuner", "ExchangeDecision"]
+
+#: stages whose counter deltas feed compress / wire / decompress time
+_COMPRESS_STAGES = ("compress",)
+_WIRE_STAGES = ("metadata", "payload")
+_DECOMPRESS_STAGES = ("decompress",)
+
+
+@dataclass(frozen=True)
+class ExchangeDecision:
+    """One autotuning verdict for the next exchange."""
+
+    pipeline_chunks: int
+    workers: int
+    wire_fraction: float
+    observations: int
+
+
+class ExchangeAutotuner:
+    """EMA-smoothed compress/wire balance → (pipeline_chunks, workers)."""
+
+    def __init__(
+        self,
+        *,
+        min_chunks: int = 1,
+        max_chunks: int = 32,
+        default_chunks: int = 8,
+        worker_ladder: tuple[int, ...] = (1, 2, 4),
+        smoothing: float = 0.5,
+    ) -> None:
+        if not 1 <= min_chunks <= max_chunks:
+            raise ValueError(f"need 1 <= min_chunks <= max_chunks, got {min_chunks}..{max_chunks}")
+        if not min_chunks <= default_chunks <= max_chunks:
+            raise ValueError(f"default_chunks {default_chunks} outside [{min_chunks}, {max_chunks}]")
+        if not worker_ladder or list(worker_ladder) != sorted(worker_ladder) or worker_ladder[0] < 1:
+            raise ValueError(f"worker_ladder must be ascending and >= 1, got {worker_ladder}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.min_chunks = int(min_chunks)
+        self.max_chunks = int(max_chunks)
+        self.default_chunks = int(default_chunks)
+        self.worker_ladder = tuple(int(w) for w in worker_ladder)
+        self.smoothing = float(smoothing)
+        self.observations = 0
+        self._compress = 0.0
+        self._wire = 0.0
+        self._decompress = 0.0
+        self._counter_marks: dict[str, float] = {}
+
+    # --------------------------------------------------------------- feeding
+
+    def observe(
+        self, compress_seconds: float, wire_seconds: float, decompress_seconds: float = 0.0
+    ) -> None:
+        """Fold one exchange's measured stage times into the EMAs."""
+        if compress_seconds < 0 or wire_seconds < 0 or decompress_seconds < 0:
+            raise ValueError("stage seconds must be >= 0")
+        alpha = self.smoothing if self.observations else 1.0
+        self._compress += alpha * (compress_seconds - self._compress)
+        self._wire += alpha * (wire_seconds - self._wire)
+        self._decompress += alpha * (decompress_seconds - self._decompress)
+        self.observations += 1
+
+    def observe_registry(self, registry=None) -> bool:
+        """Feed from the obs stage counters (``comm_seconds_total{stage=}``).
+
+        Diffs each stage counter against the last call's mark, so repeated
+        calls observe only new exchanges.  Returns whether any new stage
+        time was seen.  With ``registry=None`` the process-wide
+        :data:`repro.obs.runtime.OBS` registry is used.
+        """
+        if registry is None:
+            from repro.obs.runtime import OBS
+
+            registry = OBS.registry
+        # Live registries expose values through point-in-time snapshots;
+        # a snapshot passed in directly works too.
+        snapshot = registry.snapshot() if hasattr(registry, "snapshot") else registry
+
+        def _delta(stages: tuple[str, ...]) -> float:
+            total = 0.0
+            for stage in stages:
+                try:
+                    value = float(snapshot.counter_value("comm_seconds_total", stage=stage))
+                except KeyError:
+                    value = 0.0
+                total += value - self._counter_marks.get(stage, 0.0)
+                self._counter_marks[stage] = value
+            return total
+
+        compress = _delta(_COMPRESS_STAGES)
+        wire = _delta(_WIRE_STAGES)
+        decompress = _delta(_DECOMPRESS_STAGES)
+        if compress <= 0.0 and wire <= 0.0 and decompress <= 0.0:
+            return False
+        self.observe(max(compress, 0.0), max(wire, 0.0), max(decompress, 0.0))
+        return True
+
+    # ------------------------------------------------------------- deciding
+
+    @property
+    def wire_fraction(self) -> float:
+        total = self._compress + self._wire
+        if total <= 0.0:
+            return 0.5
+        return self._wire / total
+
+    def recommend(self) -> ExchangeDecision:
+        """Current verdict; defaults until the first observation lands."""
+        if self.observations == 0:
+            return ExchangeDecision(
+                pipeline_chunks=self.default_chunks,
+                workers=self.worker_ladder[0],
+                wire_fraction=0.5,
+                observations=0,
+            )
+        rho = self.wire_fraction
+        chunks = self.min_chunks + int(round((self.max_chunks - self.min_chunks) * rho))
+        chunks = max(self.min_chunks, min(self.max_chunks, chunks))
+        workers = self.worker_ladder[-1]
+        for rung in self.worker_ladder:
+            # Codec time (compress + decompress both scale with workers)
+            # must hide behind the wire at this rung.
+            if (self._compress + self._decompress) / rung <= self._wire:
+                workers = rung
+                break
+        return ExchangeDecision(
+            pipeline_chunks=chunks,
+            workers=workers,
+            wire_fraction=rho,
+            observations=self.observations,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ExchangeAutotuner obs={self.observations} rho={self.wire_fraction:.3f} "
+            f"C={self._compress:.2e}s W={self._wire:.2e}s>"
+        )

@@ -64,7 +64,14 @@ class CorruptPayloadError(ValueError):
     """
 
 
-def frame_with_checksum(payload: bytes | bytearray | memoryview) -> bytes:
+def _reference_frame_with_checksum(payload: bytes | bytearray | memoryview) -> bytes:
+    """Frozen seed implementation (copies the body twice); oracle for the
+    zero-copy differential tests and the ``zero_copy`` perfbench rows."""
+    body = bytes(payload)
+    return bytes([CHECKSUM_MAGIC]) + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def frame_with_checksum(payload: bytes | bytearray | memoryview, *, pool=None):
     """Wrap a payload in a 5-byte CRC32 envelope: magic + digest + body.
 
     The envelope is opt-in: nothing in the codec stack emits it by
@@ -72,9 +79,24 @@ def frame_with_checksum(payload: bytes | bytearray | memoryview) -> bytes:
     payloads over a faultable fabric (the delta publisher, the fault
     injector's corruption tests) wrap before sending and
     :func:`verify_checksum_frame` on receipt.
+
+    The CRC is computed directly over the caller's buffer and the body is
+    copied exactly once, into the final frame (``b"".join`` of views — no
+    intermediate ``bytes(payload)`` round-trip).  With ``pool`` set, the
+    frame lands in a pooled arena instead and the live lease is returned
+    (``lease.view`` is the frame); steady-state publication rounds then
+    allocate nothing for their envelopes.
     """
-    body = bytes(payload)
-    return bytes([CHECKSUM_MAGIC]) + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF) + body
+    view = memoryview(payload)
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    header = struct.pack("<BI", CHECKSUM_MAGIC, zlib.crc32(view) & 0xFFFFFFFF)
+    if pool is None:
+        return b"".join((header, view))
+    lease = pool.checkout(5 + view.nbytes)
+    lease.view[:5] = header
+    lease.view[5:] = view
+    return lease
 
 
 def has_checksum(data: bytes | bytearray | memoryview) -> bool:
@@ -83,13 +105,9 @@ def has_checksum(data: bytes | bytearray | memoryview) -> bool:
     return len(view) >= 5 and view[0] == CHECKSUM_MAGIC
 
 
-def verify_checksum_frame(data: bytes | bytearray | memoryview) -> bytes:
-    """Verify a checksummed frame and return the inner payload.
-
-    Raises :class:`CorruptPayloadError` when the body's CRC32 does not
-    match the stored digest (a corrupted or truncated frame), and a plain
-    :class:`ValueError` when ``data`` is not a checksummed frame at all.
-    """
+def _reference_verify_checksum_frame(data: bytes | bytearray | memoryview) -> bytes:
+    """Frozen seed implementation (copies the body out); oracle for the
+    zero-copy differential tests and the ``zero_copy`` perfbench rows."""
     view = memoryview(data)
     if len(view) < 5 or view[0] != CHECKSUM_MAGIC:
         raise ValueError(
@@ -98,6 +116,36 @@ def verify_checksum_frame(data: bytes | bytearray | memoryview) -> bytes:
         )
     (stored,) = struct.unpack_from("<I", view, 1)
     body = bytes(view[5:])
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != stored:
+        raise CorruptPayloadError(
+            f"payload checksum mismatch: stored CRC32 0x{stored:08x} != computed "
+            f"0x{actual:08x} over {len(body)} bytes — payload corrupted in transit"
+        )
+    return body
+
+
+def verify_checksum_frame(data: bytes | bytearray | memoryview) -> memoryview:
+    """Verify a checksummed frame and return the inner payload.
+
+    Raises :class:`CorruptPayloadError` when the body's CRC32 does not
+    match the stored digest (a corrupted or truncated frame), and a plain
+    :class:`ValueError` when ``data`` is not a checksummed frame at all.
+
+    The returned payload is a :class:`memoryview` into ``data`` — the CRC
+    runs over the view and the envelope is stripped without copying the
+    body.  Downstream consumers (``parse_payload``, ``decompress_any``,
+    ``np.frombuffer``) all accept views; call ``bytes(...)`` on the result
+    only if an owning copy is genuinely needed.
+    """
+    view = memoryview(data)
+    if len(view) < 5 or view[0] != CHECKSUM_MAGIC:
+        raise ValueError(
+            "not a checksummed frame (missing CRC32 envelope); "
+            "wrap payloads with frame_with_checksum() before verifying"
+        )
+    (stored,) = struct.unpack_from("<I", view, 1)
+    body = view[5:]
     actual = zlib.crc32(body) & 0xFFFFFFFF
     if actual != stored:
         raise CorruptPayloadError(
@@ -161,10 +209,10 @@ def _pack_value(out: bytearray, value: Any) -> None:
         write_varint(out, len(encoded))
         out.extend(encoded)
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
+        view = memoryview(value)
         out.append(ord("B"))
-        write_varint(out, len(raw))
-        out.extend(raw)
+        write_varint(out, view.nbytes)
+        out.extend(view)
     elif isinstance(value, np.ndarray):
         out.append(ord("A"))
         dtype_str = value.dtype.str.encode("ascii")
@@ -173,7 +221,8 @@ def _pack_value(out: bytearray, value: Any) -> None:
         write_varint(out, value.ndim)
         for dim in value.shape:
             write_varint(out, dim)
-        raw = np.ascontiguousarray(value).tobytes()
+        contiguous = np.ascontiguousarray(value)
+        raw = memoryview(contiguous).cast("B") if contiguous.nbytes else b""
         write_varint(out, len(raw))
         out.extend(raw)
     else:

@@ -244,8 +244,10 @@ class VectorLZCompressor(Compressor):
             "flags_len": int(encoded.flags.size),
             "offsets_len": int(encoded.offsets.size),
         }
-        body = encoded.flags.tobytes() + encoded.offsets.tobytes() + encoded.literals.tobytes()
-        return meta, body
+        # Hand the three sections to the framer as parts: the payload is
+        # assembled with one copy instead of tobytes() per section plus a
+        # concatenation (byte layout unchanged).
+        return meta, [encoded.flags, encoded.offsets, encoded.literals]
 
     def _decompress_body(
         self, header: dict[str, Any], body: memoryview, shape: tuple[int, ...], dtype: np.dtype

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.compression.base import Compressor
 from repro.compression.cache import TableCodebookCache
+from repro.compression.parallel.pool import BitstreamPool
 from repro.compression.registry import decompress_any, get_compressor
 from repro.obs.runtime import OBS
 from repro.utils.validation import check_positive
@@ -125,6 +126,7 @@ class _CompressedTable:
         error_bound: float,
         rows_per_block: int,
         codec: Compressor,
+        pool: BitstreamPool | None = None,
     ):
         values = np.ascontiguousarray(values, dtype=np.float32)
         if values.ndim != 2:
@@ -141,16 +143,33 @@ class _CompressedTable:
         self.codec_name = codec_name
         self._codec = codec
         self.raw_nbytes = int(values.nbytes)
-        self.blocks: list[bytes] = []
+        self._pool = pool
+        self._block_leases: list = []
+        self.blocks: list = []  # bytes, or pooled memoryviews when pool is set
         self._recompress(values)
 
     def _recompress(self, values: np.ndarray) -> None:
         bound = self.error_bound if self.error_bound > 0 else None
-        blocks: list[bytes] = []
+        # Every publication round replaces every block, so last round's
+        # arenas are dead — hand them back *first* and the new blocks land
+        # in the recycled memory instead of fresh allocations.
+        for lease in self._block_leases:
+            lease.release()
+        self._block_leases = []
+        blocks: list = []
         for lo in range(0, self.cardinality, self.rows_per_block):
             block = values[lo : lo + self.rows_per_block]
-            if bound is not None:
-                # Keyed by table so pin/codebook caches amortize per table.
+            if self._pool is not None:
+                if bound is not None:
+                    # Keyed by table so pin/codebook caches amortize per table.
+                    lease = self._codec.compress_keyed_into(
+                        self.table_id, block, bound, pool=self._pool
+                    )
+                else:
+                    lease = self._codec.compress_into(block, bound, pool=self._pool)
+                self._block_leases.append(lease)
+                blocks.append(lease.view)
+            elif bound is not None:
                 blocks.append(self._codec.compress_keyed(self.table_id, block, bound))
             else:
                 blocks.append(self._codec.compress(block, bound))
@@ -217,6 +236,11 @@ class EmbeddingShardServer:
     rows_per_block:
         Row-block compression granularity — the unit of decode (and of a
         remote shard pull).
+    pool:
+        :class:`~repro.compression.parallel.pool.BitstreamPool` backing
+        the compressed block storage.  Every publication round recompresses
+        every owned block, so pooled arenas turn that per-round churn into
+        steady-state reuse.  Defaults to a private per-node pool.
     """
 
     def __init__(
@@ -225,6 +249,7 @@ class EmbeddingShardServer:
         error_bounds: Mapping[int, float] | float = 1e-2,
         codecs: Mapping[int, str] | str = "hybrid",
         rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+        pool: BitstreamPool | None = None,
     ):
         if not tables:
             raise ValueError("a shard server needs at least one table")
@@ -242,13 +267,14 @@ class EmbeddingShardServer:
         # One cached codec instance per name, shared by this node's tables
         # (keyed compression keeps their caches disjoint per table).
         pooled = serving_codec_pool()
+        self.pool = pool if pool is not None else BitstreamPool()
         self._tables: dict[int, _CompressedTable] = {}
         for table_id, values in tables.items():
             table_id = int(table_id)
             bound = bound_for(table_id)
             name = codec_for(table_id) if bound > 0 else LOSSLESS_CODEC
             self._tables[table_id] = _CompressedTable(
-                table_id, values, name, bound, rows_per_block, pooled(name)
+                table_id, values, name, bound, rows_per_block, pooled(name), self.pool
             )
 
     @classmethod

@@ -104,6 +104,8 @@ class HybridParallelTrainer:
         overlap: bool | str = False,
         allreduce_algorithm: str = "ring",
         pipeline_chunks: int = 8,
+        autotuner=None,
+        codec_executor=None,
     ):
         check_positive("lr", lr)
         check_in("optimizer", optimizer, ("sgd", "adagrad"))
@@ -125,6 +127,18 @@ class HybridParallelTrainer:
         self.overlap = bool(overlap)
         self.cross_stage = overlap == "cross_stage"
         self.pipeline_chunks = int(pipeline_chunks)
+        #: optional :class:`~repro.compression.parallel.ExchangeAutotuner`:
+        #: when set, each exchange's measured compress/wire/decompress
+        #: balance feeds it and the *next* exchange adopts its recommended
+        #: pipeline chunk count (and codec parallelism, via the pipeline's
+        #: executor).  Numerics are unaffected — only scheduling changes.
+        self.autotuner = autotuner
+        if codec_executor is not None:
+            if pipeline is None:
+                raise ValueError("codec_executor requires a compression pipeline")
+            pipeline.executor = codec_executor
+        if autotuner is not None and pipeline is not None and pipeline.autotuner is None:
+            pipeline.autotuner = autotuner
         self.allreduce_algorithm = allreduce_algorithm
         n_tables = model.config.n_tables
         self.sharding = sharding or ShardingPlan.size_balanced(
@@ -154,6 +168,15 @@ class HybridParallelTrainer:
         gpu = self.simulator.gpu
         for rank in range(self.n_ranks):
             self.simulator.compute(rank, scale * gpu.mlp_time(batch, sizes), category)
+
+    def _tuned_chunk_cap(self) -> int:
+        """Pipeline chunk cap: the autotuner's recommendation once it has
+        observed an exchange, else the constructor's ``pipeline_chunks``."""
+        if self.autotuner is not None:
+            decision = self.autotuner.recommend()
+            if decision.observations:
+                return decision.pipeline_chunks
+        return self.pipeline_chunks
 
     def _forward_exchange(
         self, sparse: np.ndarray, iteration: int
@@ -218,24 +241,34 @@ class HybridParallelTrainer:
         entries_matrix = np.zeros((self.n_ranks, self.n_ranks), dtype=np.int64)
         compress_seconds = [0.0] * self.n_ranks
         chunks_per_rank = [1] * self.n_ranks
+        chunk_cap = self._tuned_chunk_cap()
+        # Gather every (table x destination) slice first, then compress the
+        # whole exchange as one batch — the executor (when attached to the
+        # pipeline) spreads the independent slices across its workers.
+        slice_plan: list[tuple[int, int, int, np.ndarray]] = []  # rank, table, dst, rows
         for rank in range(self.n_ranks):
-            chunks: list[tuple[str, int]] = []
             for table_id in self.sharding.tables_of(rank):
                 rows = raw_lookups[table_id]
-                codec = self.pipeline.controller.compressor_name(table_id)
                 for dst, (lo, hi) in enumerate(slices):
-                    payload = self.pipeline.compress_slice(table_id, rows[lo:hi], iteration)
-                    payloads[(table_id, dst)] = payload
-                    wire_matrix[rank, dst] += len(payload)
-                    entries_matrix[rank, dst] += 1
-                    chunks.append((codec, rows[lo:hi].nbytes))
-            if chunks:
-                compress_seconds[rank] = self.pipeline.compression_seconds(chunks)
-                # Pipeline depth: the communicator emits one real wire
-                # event per chunk, so cap the granularity at the trainer's
-                # pipeline_chunks knob (slices batch into that many
-                # chunk-sized kernels/messages).
-                chunks_per_rank[rank] = min(len(chunks), self.pipeline_chunks)
+                    slice_plan.append((rank, table_id, dst, rows[lo:hi]))
+        slice_payloads = self.pipeline.compress_slices(
+            [(table_id, rows) for (_, table_id, _, rows) in slice_plan], iteration
+        )
+        rank_chunks: dict[int, list[tuple[str, int]]] = {}
+        for (rank, table_id, dst, rows), payload in zip(slice_plan, slice_payloads):
+            payloads[(table_id, dst)] = payload
+            wire_matrix[rank, dst] += len(payload)
+            entries_matrix[rank, dst] += 1
+            rank_chunks.setdefault(rank, []).append(
+                (self.pipeline.controller.compressor_name(table_id), rows.nbytes)
+            )
+        for rank, chunks in rank_chunks.items():
+            compress_seconds[rank] = self.pipeline.compression_seconds(chunks)
+            # Pipeline depth: the communicator emits one real wire
+            # event per chunk, so cap the granularity at the trainer's
+            # pipeline_chunks knob (or the autotuner's recommendation)
+            # — slices batch into that many chunk-sized kernels/messages.
+            chunks_per_rank[rank] = min(len(chunks), chunk_cap)
 
         # Every receiver decodes the same per-slice chunk set.
         decompress_seconds = [
@@ -265,6 +298,15 @@ class HybridParallelTrainer:
             chunks_per_rank=chunks_per_rank,
         )
         self.forward_wire_bytes += int(wire_matrix.sum())
+        if self.autotuner is not None:
+            # Feed the measured balance: critical-path compress/decompress
+            # vs. the fabric's makespan for this wire matrix.  The *next*
+            # exchange adopts the updated recommendation.
+            self.autotuner.observe(
+                max(compress_seconds),
+                float(self.simulator.network.all_to_all_time(wire_matrix)),
+                max(decompress_seconds),
+            )
 
         # Stage ④ numerics: every receiver decodes all tables for its
         # slice; the batched decode keeps codec caches hot per table.
@@ -320,7 +362,7 @@ class HybridParallelTrainer:
                         (self.pipeline.controller.compressor_name(table_id), rows.nbytes)
                     )
                 compress_seconds[src] = self.pipeline.compression_seconds(chunks)
-                chunks_per_rank[src] = max(1, min(len(chunks), self.pipeline_chunks))
+                chunks_per_rank[src] = max(1, min(len(chunks), self._tuned_chunk_cap()))
             decompress_seconds = [
                 self.pipeline.decompression_seconds(
                     [

@@ -87,6 +87,13 @@ class CompressionPipeline:
     #: metadata bytes exchanged per (pair, table): compressed size + codec id
     metadata_bytes_per_entry: int = 16
     codebook_refresh: int = 8
+    #: optional :class:`~repro.compression.parallel.CodecExecutor`: batch
+    #: stage-①/④ calls run across its workers (payload bytes independent of
+    #: worker count).  ``None`` keeps the seed's serial keyed path.
+    executor: object | None = None
+    #: optional :class:`~repro.compression.parallel.ExchangeAutotuner`
+    #: supplying the per-batch parallelism hint for the executor
+    autotuner: object | None = None
 
     def __post_init__(self) -> None:
         self.codebook_cache = (
@@ -160,6 +167,55 @@ class CompressionPipeline:
             ).inc(1, table=str(table_id))
         self._last_codec[table_id] = codec_name
 
+    def _tuned_parallelism(self) -> int | None:
+        if self.autotuner is None:
+            return None
+        decision = self.autotuner.recommend()
+        return decision.workers if decision.observations else None
+
+    def compress_slices(
+        self, slices: Sequence[tuple[int, np.ndarray]], iteration: int
+    ) -> list:
+        """Stage ① over many independent ``(table_id, rows)`` slices.
+
+        Without an executor this is exactly a loop of
+        :meth:`compress_slice` (the seed's serial keyed path).  With one,
+        slices compress through the executor's stateless parallel path at
+        the autotuner's recommended parallelism — payload bytes are then
+        independent of worker count *and* of keyed cache state, so the
+        wire traffic is reproducible run to run.  Stats/obs accounting is
+        identical in either mode.
+        """
+        if self.executor is None:
+            return [self.compress_slice(t, rows, iteration) for t, rows in slices]
+        from repro.compression.parallel import CompressJob
+
+        jobs = []
+        routes = []
+        for table_id, rows in slices:
+            codec_name = self.controller.compressor_name(table_id)
+            error_bound = self.controller.error_bound(table_id, iteration)
+            kwargs = (("window", self.window),) if codec_name == "vector_lz" else ()
+            jobs.append(CompressJob(codec_name, np.ascontiguousarray(rows), error_bound, kwargs))
+            routes.append((table_id, codec_name, error_bound))
+        payloads = self.executor.compress_batch(jobs, parallelism=self._tuned_parallelism())
+        for (table_id, codec_name, error_bound), job, payload in zip(routes, jobs, payloads):
+            self.stats.append(
+                TransferStats(
+                    iteration=iteration,
+                    table_id=table_id,
+                    codec=codec_name,
+                    error_bound=error_bound,
+                    original_nbytes=job.array.nbytes,
+                    compressed_nbytes=len(payload),
+                )
+            )
+            if OBS.enabled:
+                self._obs_transfer(
+                    table_id, codec_name, error_bound, iteration, job.array.nbytes, len(payload)
+                )
+        return payloads
+
     def decompress_slice(self, payload: bytes) -> np.ndarray:
         """Stage ④: reconstruct a slice (self-describing payload)."""
         arr = decompress_any(payload)
@@ -176,9 +232,16 @@ class CompressionPipeline:
 
         Decoding back to back keeps the Huffman peek-table and codebook
         caches hot across payloads that share a table's codebook — one
-        cache fill amortizes over the exchange instead of per slice.
+        cache fill amortizes over the exchange instead of per slice.  With
+        an executor attached, the batch decodes across its workers
+        (decompression is stateless, so results are identical).
         """
-        arrays = [decompress_any(payload) for payload in payloads]
+        if self.executor is not None:
+            arrays = self.executor.decompress_batch(
+                payloads, parallelism=self._tuned_parallelism()
+            )
+        else:
+            arrays = [decompress_any(payload) for payload in payloads]
         if OBS.enabled:
             OBS.registry.counter(
                 "pipeline_decompressed_bytes_total", "stage-④ output bytes"

@@ -1,0 +1,138 @@
+"""Tests for the exchange autotuner: monotone decisions from measured balance.
+
+The tuner's promises are structural: more wire-bound never yields fewer
+pipeline chunks, more compute-bound never yields fewer codec workers, and
+decisions stay inside the configured bounds.  Hypothesis checks the
+monotonicity over randomized stage times.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.parallel import ExchangeAutotuner
+from repro.obs.registry import MetricsRegistry
+
+seconds = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+def _tuned(compress, wire, decompress=0.0, **kwargs):
+    tuner = ExchangeAutotuner(**kwargs)
+    tuner.observe(compress, wire, decompress)
+    return tuner.recommend()
+
+
+class TestConstruction:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ExchangeAutotuner(min_chunks=8, max_chunks=4)
+        with pytest.raises(ValueError):
+            ExchangeAutotuner(default_chunks=64, max_chunks=32)
+        with pytest.raises(ValueError):
+            ExchangeAutotuner(worker_ladder=(4, 2, 1))
+        with pytest.raises(ValueError):
+            ExchangeAutotuner(worker_ladder=())
+        with pytest.raises(ValueError):
+            ExchangeAutotuner(smoothing=0.0)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            ExchangeAutotuner().observe(-1.0, 0.5)
+
+
+class TestDecisions:
+    def test_defaults_before_first_observation(self):
+        decision = ExchangeAutotuner(default_chunks=8).recommend()
+        assert decision.pipeline_chunks == 8
+        assert decision.workers == 1
+        assert decision.observations == 0
+
+    def test_wire_bound_gets_finest_pipeline_and_no_workers(self):
+        decision = _tuned(compress=0.001, wire=1.0, max_chunks=32)
+        assert decision.pipeline_chunks == 32
+        assert decision.workers == 1  # compression already hides behind wire
+
+    def test_compute_bound_gets_coarse_pipeline_and_top_rung(self):
+        decision = _tuned(compress=1.0, wire=0.001, min_chunks=1, worker_ladder=(1, 2, 4))
+        assert decision.pipeline_chunks == 1
+        assert decision.workers == 4  # even 4 workers cannot hide it; best effort
+
+    def test_balanced_exchange_picks_a_middle_rung(self):
+        # C=1, W=0.6: 1/2 <= 0.6 so 2 workers hide compression; 1 does not.
+        decision = _tuned(compress=1.0, wire=0.6, worker_ladder=(1, 2, 4))
+        assert decision.workers == 2
+
+    def test_decompress_counts_toward_codec_time(self):
+        with_decode = _tuned(compress=0.5, wire=0.6, decompress=0.7, worker_ladder=(1, 2, 4))
+        without = _tuned(compress=0.5, wire=0.6, worker_ladder=(1, 2, 4))
+        assert with_decode.workers >= without.workers
+
+    @given(seconds, seconds, seconds, seconds)
+    @settings(max_examples=200, deadline=None)
+    def test_chunks_monotone_in_wire_fraction(self, c1, w1, c2, w2):
+        """More wire-bound ⇒ never fewer chunks (the ISSUE's pinned law)."""
+        d1 = _tuned(c1, w1)
+        d2 = _tuned(c2, w2)
+        if d1.wire_fraction <= d2.wire_fraction:
+            assert d1.pipeline_chunks <= d2.pipeline_chunks
+        else:
+            assert d1.pipeline_chunks >= d2.pipeline_chunks
+
+    @given(seconds, st.floats(min_value=1e-3, max_value=100.0), seconds)
+    @settings(max_examples=200, deadline=None)
+    def test_workers_monotone_in_codec_load(self, c, w, d):
+        """Scaling codec time up (same wire) never decreases the rung."""
+        low = _tuned(c, w, d)
+        high = _tuned(2.0 * c + 1e-3, w, 2.0 * d)
+        assert high.workers >= low.workers
+
+    @given(st.lists(st.tuples(seconds, seconds), min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_decision_always_in_bounds(self, observations):
+        tuner = ExchangeAutotuner(min_chunks=2, max_chunks=24, default_chunks=4)
+        for compress, wire in observations:
+            tuner.observe(compress, wire)
+        decision = tuner.recommend()
+        assert 2 <= decision.pipeline_chunks <= 24
+        assert decision.workers in tuner.worker_ladder
+        assert 0.0 <= decision.wire_fraction <= 1.0
+        assert decision.observations == len(observations)
+
+
+class TestSmoothing:
+    def test_first_observation_lands_whole(self):
+        tuner = ExchangeAutotuner(smoothing=0.5)
+        tuner.observe(1.0, 3.0)
+        assert tuner.wire_fraction == pytest.approx(0.75)
+
+    def test_straggler_is_damped(self):
+        tuner = ExchangeAutotuner(smoothing=0.5)
+        for _ in range(4):
+            tuner.observe(1.0, 1.0)
+        steady = tuner.wire_fraction
+        tuner.observe(1.0, 100.0)  # one pathological wire stall
+        assert tuner.wire_fraction < 1.0
+        assert tuner.wire_fraction > steady  # moved, but not whipped
+
+
+class TestRegistryFeed:
+    def test_observe_registry_diffs_stage_counters(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("comm_seconds_total", "per-stage exchange seconds")
+        counter.inc(2.0, stage="compress")
+        counter.inc(1.0, stage="metadata")
+        counter.inc(3.0, stage="payload")
+        counter.inc(0.5, stage="decompress")
+        tuner = ExchangeAutotuner()
+        assert tuner.observe_registry(reg)
+        assert tuner.observations == 1
+        assert tuner.wire_fraction == pytest.approx(4.0 / 6.0)
+        # No new counter movement: nothing to observe.
+        assert not tuner.observe_registry(reg)
+        assert tuner.observations == 1
+        # Only the *delta* since the mark feeds the second observation.
+        counter.inc(10.0, stage="compress")
+        assert tuner.observe_registry(reg)
+        assert tuner.observations == 2

@@ -1,0 +1,177 @@
+"""Differential tests: CodecExecutor parallel payloads vs the serial path.
+
+The executor's determinism contract is that payload *bytes* are identical
+at every worker count and on every backend — serial, thread, and process —
+for every registered codec.  These tests pin that contract, plus the
+pooled-buffer path, chunked table compression, and decode equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.parallel import (
+    BitstreamPool,
+    CodecExecutor,
+    CompressJob,
+    available_workers,
+)
+from repro.compression.registry import (
+    available_compressors,
+    decompress_any,
+    get_compressor,
+)
+
+BOUND = 1e-2
+
+
+@pytest.fixture(scope="module")
+def tables():
+    rng = np.random.default_rng(7)
+    return [
+        np.asarray(rng.normal(0.0, 2.0, size=(37, 16)), dtype=np.float32),
+        np.asarray(rng.normal(0.0, 1.0, size=(64, 8)), dtype=np.float32),
+        np.zeros((5, 4), dtype=np.float32),
+        np.asarray(rng.normal(0.0, 3.0, size=(128, 32)), dtype=np.float32),
+    ]
+
+
+@pytest.fixture(scope="module")
+def executors():
+    """One executor per backend, shared across the module (the process
+    pool's fork cost is paid once)."""
+    with CodecExecutor(1) as serial, CodecExecutor(
+        3, backend="thread"
+    ) as thread, CodecExecutor(2, backend="process") as process:
+        yield {"serial": serial, "thread": thread, "process": process}
+
+
+class TestConstruction:
+    def test_workers_one_is_serial(self):
+        assert CodecExecutor(1).backend == "serial"
+        assert CodecExecutor(1, backend="process").backend == "serial"
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            CodecExecutor(0)
+        with pytest.raises(ValueError, match="backend"):
+            CodecExecutor(2, backend="gpu")
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("codec", sorted(available_compressors()))
+    def test_parallel_bytes_identical_to_serial(self, codec, tables, executors):
+        """Every backend, same payload bytes — for every registered codec."""
+        jobs = [CompressJob(codec, t, BOUND) for t in tables]
+        expected = [bytes(p) for p in executors["serial"].compress_batch(jobs)]
+        direct = get_compressor(codec)
+        assert expected == [bytes(direct.compress(t, BOUND)) for t in tables]
+        for backend in ("thread", "process"):
+            got = [bytes(p) for p in executors[backend].compress_batch(jobs)]
+            assert got == expected, f"{codec} payloads diverged on {backend}"
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_decompress_matches_serial(self, backend, tables, executors):
+        payloads = executors["serial"].compress_batch(
+            [CompressJob("hybrid", t, BOUND) for t in tables]
+        )
+        expected = [decompress_any(p) for p in payloads]
+        got = executors[backend].decompress_batch(payloads)
+        assert len(got) == len(expected)
+        for g, e, t in zip(got, expected, tables):
+            np.testing.assert_array_equal(g, e)
+            assert np.max(np.abs(g - t), initial=0.0) <= BOUND * 1.0001
+
+    def test_parallelism_cap_changes_nothing(self, tables, executors):
+        jobs = [CompressJob("vector_lz", t, BOUND) for t in tables]
+        expected = [bytes(p) for p in executors["serial"].compress_batch(jobs)]
+        for cap in (1, 2, 8):
+            got = [bytes(p) for p in executors["thread"].compress_batch(jobs, parallelism=cap)]
+            assert got == expected
+
+    def test_job_kwargs_reach_the_codec(self, tables, executors):
+        table = tables[3]
+        jobs = [CompressJob("vector_lz", table, BOUND, (("window", 4),))]
+        (payload,) = executors["thread"].compress_batch(jobs)
+        assert bytes(payload) == bytes(get_compressor("vector_lz", window=4).compress(table, BOUND))
+
+    def test_empty_batch(self, executors):
+        for backend in ("serial", "thread", "process"):
+            assert executors[backend].compress_batch([]) == []
+            assert executors[backend].decompress_batch([]) == []
+
+
+class TestPooledExecutor:
+    def test_pooled_payloads_identical_and_arenas_reused(self, tables):
+        pool = BitstreamPool()
+        jobs = [CompressJob("hybrid", t, BOUND) for t in tables]
+        expected = [bytes(p) for p in CodecExecutor(1).compress_batch(jobs)]
+        with CodecExecutor(1, pool=pool) as pooled:
+            first = [bytes(p) for p in pooled.compress_batch(jobs)]
+            assert first == expected
+            pooled.release_leases()
+            created = pool.stats.arenas_created
+            second = [bytes(p) for p in pooled.compress_batch(jobs)]
+            assert second == expected
+            assert pool.stats.arenas_created == created  # recycled, not allocated
+            assert pool.stats.reuses >= len(jobs)
+            pooled.release_leases()
+        assert pool.stats.live == 0
+
+    def test_pooled_payloads_decode(self, tables):
+        pool = BitstreamPool()
+        with CodecExecutor(1, pool=pool) as pooled:
+            payloads = pooled.compress_batch([CompressJob("fp16", t) for t in tables])
+            for payload, table in zip(payloads, tables):
+                assert isinstance(payload, memoryview)
+                np.testing.assert_allclose(decompress_any(payload), table, atol=2e-2, rtol=1e-2)
+            pooled.release_leases()
+
+
+class TestChunked:
+    @pytest.mark.parametrize("chunks", [1, 3, 8, 200])
+    def test_chunked_roundtrip(self, chunks, tables, executors):
+        table = tables[3]
+        payloads = executors["serial"].compress_chunked("hybrid", table, BOUND, chunks=chunks)
+        assert len(payloads) == min(chunks, table.shape[0])
+        out = executors["serial"].decompress_chunked(payloads)
+        assert out.shape == table.shape
+        assert np.max(np.abs(out - table)) <= BOUND * 1.0001
+
+    def test_chunked_bytes_identical_across_backends(self, tables, executors):
+        table = tables[0]
+        expected = [
+            bytes(p)
+            for p in executors["serial"].compress_chunked("vector_lz", table, BOUND, chunks=4)
+        ]
+        for backend in ("thread", "process"):
+            got = [
+                bytes(p)
+                for p in executors[backend].compress_chunked("vector_lz", table, BOUND, chunks=4)
+            ]
+            assert got == expected
+            np.testing.assert_array_equal(
+                executors[backend].decompress_chunked(got),
+                executors["serial"].decompress_chunked(expected),
+            )
+
+    def test_invalid_chunks_rejected(self, executors):
+        with pytest.raises(ValueError, match="chunks"):
+            executors["serial"].compress_chunked("fp16", np.zeros((4, 4), np.float32), chunks=0)
+
+
+class TestProcessSlotOverflow:
+    def test_payload_larger_than_slot_falls_back_to_pickle(self, tables):
+        """A slot smaller than any payload forces the bytes fallback —
+        results must still be byte-identical."""
+        jobs = [CompressJob("fp16", t) for t in tables]
+        expected = [bytes(p) for p in CodecExecutor(1).compress_batch(jobs)]
+        with CodecExecutor(2, backend="process", slot_nbytes=16) as tiny:
+            assert [bytes(p) for p in tiny.compress_batch(jobs)] == expected
+            decoded = tiny.decompress_batch(expected)
+        for d, t in zip(decoded, tables):
+            np.testing.assert_allclose(d, t, atol=2e-2, rtol=1e-2)

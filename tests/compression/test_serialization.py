@@ -207,3 +207,68 @@ class TestChecksumFrame:
         plain = decompress_any(payload)
         framed = decompress_any(frame_with_checksum(payload))
         assert np.array_equal(plain, framed)
+
+
+class TestZeroCopyFraming:
+    """Differential: zero-copy framing vs the frozen ``_reference_*`` seed
+    implementations (the raw-speed PR's byte-compatibility contract)."""
+
+    @given(st.binary(max_size=512))
+    def test_frame_matches_reference(self, body):
+        from repro.compression.serialization import (
+            _reference_frame_with_checksum,
+            frame_with_checksum,
+        )
+
+        assert frame_with_checksum(body) == _reference_frame_with_checksum(body)
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_frame_accepts_any_buffer_type(self, body):
+        from repro.compression.serialization import (
+            _reference_frame_with_checksum,
+            frame_with_checksum,
+        )
+
+        expected = _reference_frame_with_checksum(body)
+        assert frame_with_checksum(bytearray(body)) == expected
+        assert frame_with_checksum(memoryview(body)) == expected
+        assert frame_with_checksum(np.frombuffer(body, dtype=np.uint8)) == expected
+
+    @given(st.binary(max_size=512))
+    def test_pooled_frame_matches_reference(self, body):
+        from repro.compression.parallel import BitstreamPool
+        from repro.compression.serialization import (
+            _reference_frame_with_checksum,
+            frame_with_checksum,
+        )
+
+        pool = BitstreamPool()
+        with frame_with_checksum(body, pool=pool) as lease:
+            assert bytes(lease.view) == _reference_frame_with_checksum(body)
+        assert pool.stats.live == 0
+
+    @given(st.binary(max_size=512))
+    def test_verify_matches_reference_and_is_a_view(self, body):
+        from repro.compression.serialization import (
+            _reference_verify_checksum_frame,
+            frame_with_checksum,
+            verify_checksum_frame,
+        )
+
+        framed = frame_with_checksum(body)
+        got = verify_checksum_frame(framed)
+        assert isinstance(got, memoryview)  # no body copy on the hot path
+        assert bytes(got) == _reference_verify_checksum_frame(framed) == body
+
+    def test_pooled_steady_state_reuses_arenas(self):
+        from repro.compression.parallel import BitstreamPool
+        from repro.compression.serialization import frame_with_checksum
+
+        pool = BitstreamPool()
+        body = bytes(range(200))
+        frame_with_checksum(body, pool=pool).release()
+        created = pool.stats.arenas_created
+        for _ in range(10):
+            frame_with_checksum(body, pool=pool).release()
+        assert pool.stats.arenas_created == created
+        assert pool.stats.reuses == 10

@@ -132,10 +132,21 @@ class TestCompareToBaseline:
         assert compare_to_baseline(current, [_record(mbps=100)]) == []
 
     def test_custom_factor(self):
-        current, base = [_record(mbps=30)], [_record(mbps=100)]
+        # hybrid.compress is outside TIGHTENED_GATES, so the caller's band
+        # is the only gate in play.
+        current = [_record(codec="hybrid", op="compress", mbps=30)]
+        base = [_record(codec="hybrid", op="compress", mbps=100)]
         assert compare_to_baseline(current, base, max_regression=5.0) == []
         with pytest.raises(ValueError):
             compare_to_baseline(current, base, max_regression=1.0)
+
+    def test_tightened_gate_beats_looser_custom_factor(self):
+        """huffman.decode carries a 2.5x TIGHTENED_GATES entry; a looser
+        generic band cannot loosen it."""
+        current, base = [_record(mbps=30)], [_record(mbps=100)]
+        failures = compare_to_baseline(current, base, max_regression=5.0)
+        assert len(failures) == 1
+        assert "huffman.decode" in failures[0] and "2.5" in failures[0]
 
     def test_slow_machine_passes_via_relative_speedup(self):
         """A uniformly slower machine (low MB/s but intact speedup vs the
