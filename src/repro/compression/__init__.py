@@ -18,6 +18,15 @@ from repro.compression.baselines import (
     ZfpLikeCompressor,
 )
 from repro.compression.entropy import EntropyCompressor
+from repro.compression.homomorphic import (
+    CountSumCompressor,
+    HomomorphicCompressor,
+    QuantSumCompressor,
+    agg_fold,
+    agg_sum,
+    composed_bound,
+    homomorphic_codecs,
+)
 from repro.compression.hybrid import HybridCompressor
 from repro.compression.metrics import (
     CodecEvaluation,
@@ -56,6 +65,13 @@ __all__ = [
     "CuszLikeCompressor",
     "FzGpuLikeCompressor",
     "ZfpLikeCompressor",
+    "HomomorphicCompressor",
+    "QuantSumCompressor",
+    "CountSumCompressor",
+    "agg_sum",
+    "agg_fold",
+    "composed_bound",
+    "homomorphic_codecs",
     "quantize",
     "dequantize",
     "quantize_batch",

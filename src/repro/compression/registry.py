@@ -22,6 +22,7 @@ from repro.compression.baselines import (
     ZfpLikeCompressor,
 )
 from repro.compression.entropy import EntropyCompressor
+from repro.compression.homomorphic import CountSumCompressor, QuantSumCompressor
 from repro.compression.hybrid import HybridCompressor
 from repro.compression.serialization import has_checksum, verify_checksum_frame
 from repro.compression.vector_lz import VectorLZCompressor
@@ -39,6 +40,8 @@ _FACTORIES: dict[str, Callable[..., Compressor]] = {
     CuszLikeCompressor.name: CuszLikeCompressor,
     FzGpuLikeCompressor.name: FzGpuLikeCompressor,
     ZfpLikeCompressor.name: ZfpLikeCompressor,
+    QuantSumCompressor.name: QuantSumCompressor,
+    CountSumCompressor.name: CountSumCompressor,
 }
 
 

@@ -725,6 +725,19 @@ class Communicator:
             )
         return [total.copy() for _ in range(self.n_ranks)]
 
+    def _all_reduce_seconds(self, nbytes: float, algorithm: str) -> float:
+        """Wire time of one all-reduce under the named schedule."""
+        network = self.simulator.network
+        if algorithm == "ring":
+            return network.all_reduce_time(nbytes, self.n_ranks)
+        if algorithm == "hierarchical":
+            return network.hierarchical_all_reduce_time(nbytes, self.n_ranks)
+        if algorithm == "switch":
+            return network.switch_all_reduce_time(nbytes, self.n_ranks)
+        raise ValueError(
+            f"algorithm must be 'ring', 'hierarchical', or 'switch', got {algorithm!r}"
+        )
+
     def all_reduce_bytes(
         self,
         nbytes: float,
@@ -734,23 +747,160 @@ class Communicator:
         """Charge an all-reduce of ``nbytes`` without moving data (for
         reductions whose numerics the caller computes in process, e.g. the
         trainer's replicated data-parallel MLP gradients).  ``algorithm``
-        picks the flat ``"ring"`` or the topology-aware
-        ``"hierarchical"`` schedule.  Returns the common end time."""
-        if algorithm == "ring":
-            seconds = self.simulator.network.all_reduce_time(nbytes, self.n_ranks)
-        elif algorithm == "hierarchical":
-            seconds = self.simulator.network.hierarchical_all_reduce_time(
-                nbytes, self.n_ranks
-            )
-        else:
-            raise ValueError(
-                f"algorithm must be 'ring' or 'hierarchical', got {algorithm!r}"
-            )
+        picks the flat ``"ring"``, the topology-aware ``"hierarchical"``,
+        or the in-network ``"switch"`` schedule (the latter degenerates to
+        hierarchical without aggregation nodes).  Returns the common end
+        time."""
+        seconds = self._all_reduce_seconds(nbytes, algorithm)
         if OBS.enabled:
             self._obs_stage(
                 "allreduce", seconds * self.n_ranks, int(nbytes) * self.n_ranks
             )
         return self.simulator.collective(seconds, category)
+
+    def _aggregation_hop_equivalents(self, algorithm: str) -> float:
+        """Full-payload decode-sum-recode passes on the critical path of a
+        *non*-homomorphic compressed all-reduce — the round-trips a
+        homomorphic codec removes.
+
+        Ring: each of the ``n - 1`` reduce-scatter steps re-codes a
+        ``1/n`` shard → ``(n-1)/n`` payload equivalents.  Hierarchical:
+        the intra reduce-scatter plus the inter rail rings →
+        ``(g-1)/g + (N-1)/(N g)``.  Switch: the node and spine aggregators
+        each decode/recode the full payload → ``2``.
+        """
+        n = self.n_ranks
+        if n <= 1:
+            return 0.0
+        topology = self.simulator.network.topology
+        if algorithm == "switch" and topology is not None and topology.switch_aggregation:
+            return 2.0
+        if algorithm in ("hierarchical", "switch") and topology is not None:
+            g = topology._balanced_gpus_per_node()
+            n_nodes = topology.n_nodes
+            total = (g - 1) / g if g > 1 else 0.0
+            if n_nodes > 1:
+                total += (n_nodes - 1) / (n_nodes * g)
+            return total
+        return (n - 1) / n
+
+    def compressed_all_reduce(
+        self,
+        arrays: Sequence[np.ndarray],
+        codec: str = "quant_sum",
+        error_bound: float | None = None,
+        category: str = EventCategory.ALLREDUCE,
+        *,
+        algorithm: str = "ring",
+        in_network: bool = True,
+        encode_seconds: Sequence[float] | None = None,
+        decode_seconds: Sequence[float] | None = None,
+        pool: object | None = None,
+    ) -> list[np.ndarray]:
+        """All-reduce whose payloads are aggregated *in compressed space*.
+
+        Each rank encodes its contribution once with a homomorphic codec
+        (``"quant_sum"`` / ``"count_sum"``), intermediate hops sum the
+        payloads directly via :func:`repro.compression.agg_sum` — no
+        decode anywhere in the reduction — and the final aggregate is
+        decoded exactly once per rank.  The decoded total is therefore
+        independent of hop count and fold order (bit-identical for
+        ``count_sum``; within the closed-form composed bound
+        ``n_ranks * error_bound`` for ``quant_sum``), and the wire carries
+        compressed bytes end to end.
+
+        Timing: the collective is priced at the *largest* payload seen on
+        any hop under the chosen schedule (``"ring"``, ``"hierarchical"``,
+        or ``"switch"`` — the in-network aggregation tree, which
+        degenerates exactly to hierarchical when the topology has no
+        aggregation nodes).  ``encode_seconds`` / ``decode_seconds`` give
+        per-rank codec device times, charged once at the leaves and once
+        at the end.  ``in_network=False`` models the *baseline* discipline
+        for a codec that cannot aggregate: every intermediate hop must
+        decode, sum, and re-encode, so the collective additionally pays
+        the hop-equivalent codec time on its critical path — the pipelined
+        makespan is never below the ``in_network=True`` one, which the
+        property tests pin.
+
+        ``pool`` (a :class:`~repro.compression.parallel.BitstreamPool`)
+        routes the final decode through a pooled scratch lease instead of
+        a fresh per-call output allocation.
+
+        Returns one decoded total per rank (fresh arrays, original shape).
+        """
+        from repro.compression.homomorphic import agg_fold
+        from repro.compression.registry import get_compressor
+
+        n = self.n_ranks
+        if len(arrays) != n:
+            raise ValueError(f"expected {n} arrays, got {len(arrays)}")
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise ValueError(f"all-reduce arrays must share a shape, got {sorted(shapes)}")
+        dtypes = {a.dtype for a in arrays}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"all-reduce arrays must share a dtype, got {sorted(map(str, dtypes))}"
+            )
+        if algorithm not in ("ring", "hierarchical", "switch"):
+            raise ValueError(
+                f"unknown all-reduce algorithm {algorithm!r}; "
+                "expected 'ring', 'hierarchical', or 'switch'"
+            )
+        compressor = get_compressor(codec)
+        if not getattr(compressor, "homomorphic", False):
+            raise ValueError(
+                f"codec {codec!r} is not homomorphic; compressed_all_reduce needs "
+                "payloads that sum in compressed space (e.g. 'quant_sum', 'count_sum')"
+            )
+        shape = arrays[0].shape
+        flat = [np.ascontiguousarray(a).reshape(1, -1) for a in arrays]
+        bound = error_bound if compressor.error_bounded else None
+        leaves = [compressor.compress(a, bound) for a in flat]
+        final = agg_fold(leaves)
+
+        encode = self._per_rank_seconds(encode_seconds, "encode_seconds")
+        decode = self._per_rank_seconds(decode_seconds, "decode_seconds")
+        hop_nbytes = max(len(final), max(len(p) for p in leaves))
+        wire_seconds = self._all_reduce_seconds(hop_nbytes, algorithm)
+        collective_seconds = wire_seconds
+        if not in_network:
+            collective_seconds += self._aggregation_hop_equivalents(algorithm) * (
+                max(encode) + max(decode)
+            )
+
+        sim = self.simulator
+        for rank in range(n):
+            if encode[rank] > 0.0:
+                sim.compute(rank, encode[rank], EventCategory.COMPRESS)
+        sim.collective(collective_seconds, category)
+        for rank in range(n):
+            if decode[rank] > 0.0:
+                sim.compute(rank, decode[rank], EventCategory.DECOMPRESS)
+
+        if OBS.enabled:
+            self._obs_stage(
+                "homomorphic_allreduce", collective_seconds * n, hop_nbytes * n
+            )
+            reg = OBS.registry
+            reg.counter(
+                "comm_homomorphic_aggregated_bytes_total",
+                "compressed payload bytes summed without decoding",
+            ).inc(sum(len(p) for p in leaves), codec=codec, algorithm=algorithm)
+            reg.counter(
+                "comm_homomorphic_hops_saved_total",
+                "decode-sum-recode round-trips removed by in-network aggregation",
+            ).inc(n - 1 if in_network else 0, codec=codec, algorithm=algorithm)
+
+        if pool is not None:
+            lease, view = compressor.decompress_into(final, pool=pool)
+            total = view.copy()
+            del view  # drop the arena view so release recycles cleanly
+            lease.release()
+        else:
+            total = compressor.decompress(final)
+        total = total.reshape(shape)
+        return [total.copy() for _ in range(n)]
 
     # ---------------------------------------------------------- broadcast
 

@@ -104,6 +104,7 @@ class Topology:
         latency_matrix: np.ndarray,
         node_ids: np.ndarray | None = None,
         name: str = "custom",
+        switch_aggregation: bool = False,
     ):
         # Copy (never alias) the inputs: they are frozen read-only below,
         # and freezing a caller's own array would poison it.
@@ -132,6 +133,10 @@ class Topology:
         self.latency_matrix = lat
         self.node_ids = node_ids
         self.name = name
+        #: whether the fabric's switches host aggregation nodes (one per
+        #: node plus a spine) that sum *homomorphic* compressed payloads at
+        #: wire speed — see :meth:`switch_all_reduce_time`.
+        self.switch_aggregation = bool(switch_aggregation)
         for a in (self.bandwidth_matrix, self.latency_matrix, self.node_ids):
             a.setflags(write=False)
 
@@ -144,6 +149,7 @@ class Topology:
         gpus_per_node: int,
         intra_link: LinkSpec = NVLINK_LIKE,
         inter_link: LinkSpec = IB_HDR_LIKE,
+        switch_aggregation: bool = False,
     ) -> "Topology":
         """NVLink-inside-node / IB-between-nodes cluster of
         ``n_nodes * gpus_per_node`` ranks (node-contiguous rank order)."""
@@ -153,7 +159,13 @@ class Topology:
         same_node = node_ids[:, None] == node_ids[None, :]
         bw = np.where(same_node, intra_link.bandwidth, inter_link.bandwidth)
         lat = np.where(same_node, intra_link.latency, inter_link.latency)
-        topo = cls(bw, lat, node_ids, name=f"{intra_link.name}x{gpus_per_node}+{inter_link.name}x{n_nodes}")
+        topo = cls(
+            bw,
+            lat,
+            node_ids,
+            name=f"{intra_link.name}x{gpus_per_node}+{inter_link.name}x{n_nodes}",
+            switch_aggregation=switch_aggregation,
+        )
         return topo
 
     @classmethod
@@ -166,6 +178,18 @@ class Topology:
             np.full((n, n), link.latency),
             np.zeros(n, dtype=np.int64),
             name=f"{link.name}x{n}",
+        )
+
+    def with_switch_aggregation(self) -> "Topology":
+        """The same fabric with in-network aggregation nodes enabled."""
+        if self.switch_aggregation:
+            return self
+        return Topology(
+            self.bandwidth_matrix,
+            self.latency_matrix,
+            self.node_ids,
+            name=f"{self.name}+switch",
+            switch_aggregation=True,
         )
 
     # ------------------------------------------------------------ structure
@@ -291,6 +315,71 @@ class Topology:
             total += 2 * (n_nodes - 1) * inter_lat + 2 * (n_nodes - 1) / n_nodes * shard / inter_bw
         return total
 
+    def switch_all_reduce_time(self, nbytes: float) -> float:
+        """In-network (switch-hosted) aggregation-tree all-reduce.
+
+        Only meaningful for payloads that *sum in compressed space* (the
+        homomorphic codecs): each leaf sends its whole payload up one hop
+        to its node's aggregator (all ports concurrent, summation at wire
+        speed), node aggregates go up one more hop to a spine aggregator,
+        and the reduced payload comes back down the same two hops —
+        ``2 * (intra_lat + nbytes / intra_bw) + 2 * (inter_lat + nbytes /
+        inter_bw)``.  Four latency terms total versus the hierarchical
+        schedule's ``2 (g - 1) + 2 (N - 1)``, which is exactly why
+        in-network aggregation wins latency-bound dense layers; the price
+        is the full payload (not a ``1/g`` shard) on the inter link.
+
+        With ``switch_aggregation`` disabled the fabric has no aggregation
+        nodes, so this degenerates *exactly* to
+        :meth:`hierarchical_all_reduce_time` — the property tests pin that
+        equality.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        if not self.switch_aggregation:
+            return self.hierarchical_all_reduce_time(nbytes)
+        n = self.n_ranks
+        if n <= 1:
+            return 0.0
+        g = self._balanced_gpus_per_node()
+        n_nodes = self.n_nodes
+        (intra_bw, intra_lat), (inter_bw, inter_lat) = self._intra_inter_links()
+        total = 0.0
+        if g > 1:
+            total += 2 * (intra_lat + nbytes / intra_bw)
+        if n_nodes > 1:
+            total += 2 * (inter_lat + nbytes / inter_bw)
+        return total
+
+    def all_reduce_inter_bytes(self, nbytes: float, algorithm: str = "ring") -> float:
+        """Total bytes an all-reduce of ``nbytes`` puts on *inter-node*
+        links — the taper-constrained resource on oversubscribed fabrics.
+
+        * ``"ring"`` — the node-contiguous ring has ``N`` node-crossing
+          edges (``N > 1``), each carrying ``2 (n-1)/n * nbytes``.
+        * ``"hierarchical"`` — ``g`` concurrent rail rings over ``N``
+          nodes, each ring moving ``2 (N-1) * nbytes / g`` across nodes.
+        * ``"switch"`` — every node aggregate travels up to the spine and
+          back down: ``2 N * nbytes`` (with aggregation disabled the
+          schedule is the hierarchical one, so its byte count applies).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        n, n_nodes = self.n_ranks, self.n_nodes
+        if n <= 1 or n_nodes <= 1:
+            return 0.0
+        if algorithm == "ring":
+            return n_nodes * 2 * (n - 1) / n * nbytes
+        if algorithm == "hierarchical" or (
+            algorithm == "switch" and not self.switch_aggregation
+        ):
+            return 2 * (n_nodes - 1) * nbytes
+        if algorithm == "switch":
+            return 2 * n_nodes * nbytes
+        raise ValueError(
+            f"algorithm must be 'ring', 'hierarchical', or 'switch', got {algorithm!r}"
+        )
+
     # -------------------------------------------------------------- dunders
 
     def __eq__(self, other: object) -> bool:
@@ -300,6 +389,7 @@ class Topology:
             np.array_equal(self.bandwidth_matrix, other.bandwidth_matrix)
             and np.array_equal(self.latency_matrix, other.latency_matrix)
             and np.array_equal(self.node_ids, other.node_ids)
+            and self.switch_aggregation == other.switch_aggregation
         )
 
     def __hash__(self) -> int:
@@ -310,13 +400,14 @@ class Topology:
                 self.bandwidth_matrix.tobytes(),
                 self.latency_matrix.tobytes(),
                 self.node_ids.tobytes(),
+                self.switch_aggregation,
             )
         )
 
     def __repr__(self) -> str:
         return (
             f"Topology(name={self.name!r}, n_ranks={self.n_ranks}, "
-            f"n_nodes={self.n_nodes})"
+            f"n_nodes={self.n_nodes}, switch_aggregation={self.switch_aggregation})"
         )
 
 
@@ -433,6 +524,23 @@ class NetworkModel:
             return self.all_reduce_time(nbytes, n)
         self._check_topology_ranks(n)
         return self.topology.hierarchical_all_reduce_time(nbytes)
+
+    def switch_all_reduce_time(self, nbytes: float, n_ranks: int) -> float:
+        """In-network aggregation-tree all-reduce (homomorphic payloads
+        only — see :meth:`Topology.switch_all_reduce_time`).  Without a
+        topology there is no switch to host the aggregator, so this
+        degenerates to the flat ring; without ``switch_aggregation`` it
+        degenerates to the hierarchical schedule."""
+        check_positive("n_ranks", n_ranks)
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        n = int(n_ranks)
+        if n <= 1:
+            return 0.0
+        if self.topology is None:
+            return self.all_reduce_time(nbytes, n)
+        self._check_topology_ranks(n)
+        return self.topology.switch_all_reduce_time(nbytes)
 
     def _check_topology_ranks(self, n_ranks: int) -> None:
         if self.topology is not None and self.topology.n_ranks != n_ranks:

@@ -57,7 +57,8 @@ from repro.compression.huffman import (
 from repro.compression.hybrid import HybridCompressor
 from repro.compression.parallel import BitstreamPool, CodecExecutor, CompressJob
 from repro.compression.quantizer import quantize_batch
-from repro.compression.registry import decompress_any
+from repro.compression.homomorphic import agg_sum
+from repro.compression.registry import decompress_any, get_compressor
 from repro.compression.serialization import (
     _reference_frame_with_checksum,
     _reference_verify_checksum_frame,
@@ -477,6 +478,39 @@ def run_suite(
             "fzgpu_like", "unpack", shape_name, rows, dim, nbytes,
             lambda: unpack_bitplanes(bitmap, payload, unsigned.size, 256, n_blocks),
             lambda: _reference_unpack_bitplanes(bitmap, payload, unsigned.size, 256, n_blocks),
+        )
+
+        # --- homomorphic aggregation: one in-network all-reduce hop.  The
+        # agg rows sum two payloads *in compressed space*; the reference
+        # is the decode-sum-recode discipline a non-homomorphic codec
+        # forces on every intermediate hop, so the speedup column reads
+        # as the per-hop saving of in-network aggregation. ---
+        quant = get_compressor("quant_sum")
+        half = batch * np.float32(0.5)
+        q_payload = quant.compress(half, error_bound)
+
+        def _quant_hop():
+            total = quant.decompress(q_payload) + quant.decompress(q_payload)
+            return quant.compress(total, error_bound)
+
+        add(
+            "homomorphic_allreduce", "agg_quant", shape_name, rows, dim, nbytes,
+            lambda: agg_sum(q_payload, q_payload),
+            _quant_hop,
+            interleave=True,
+        )
+        count = get_compressor("count_sum")
+        c_payload = count.compress(half, None)
+
+        def _count_hop():
+            total = count.decompress(c_payload) + count.decompress(c_payload)
+            return count.compress(total, None)
+
+        add(
+            "homomorphic_allreduce", "agg_count", shape_name, rows, dim, nbytes,
+            lambda: agg_sum(c_payload, c_payload),
+            _count_hop,
+            interleave=True,
         )
     return records
 

@@ -24,7 +24,19 @@ kernels, so that exchange overlaps compute across pipeline stages (the
 kernels ride into the communicator as ``overlap_compute_seconds`` — the
 numerics are bit-identical in every mode, only the charge schedule moves).
 ``allreduce_algorithm="hierarchical"`` prices the dense synchronization
-with the topology-aware hierarchical schedule.
+with the topology-aware hierarchical schedule (``"switch"`` with the
+in-network aggregation tree, meaningful alongside ``allreduce_codec=``).
+
+``allreduce_codec="count_sum"`` / ``"quant_sum"`` routes the dense
+gradient all-reduce through
+:meth:`~repro.dist.comm.Communicator.compressed_all_reduce`: each rank
+encodes a disjoint strided shard of the global MLP gradient (rank ``r``
+owns elements ``r::n``, so the shards sum *exactly* to the gradient), the
+payloads aggregate in compressed space with no intermediate decode, and
+the decoded total lands back in ``param.grad`` before the optimizer step.
+With the lossless ``count_sum`` the parameters stay bit-identical to the
+uncompressed path; with ``quant_sum`` they stay within the composed bound
+``lr_effective * n_ranks * allreduce_error_bound`` per step.
 
 **Numerics vs. timing.**  All ranks of the simulation share one
 :class:`~repro.model.dlrm.DLRM` parameter set: replicated data-parallel
@@ -106,10 +118,19 @@ class HybridParallelTrainer:
         pipeline_chunks: int = 8,
         autotuner=None,
         codec_executor=None,
+        allreduce_codec: str | None = None,
+        allreduce_error_bound: float = 1e-3,
     ):
         check_positive("lr", lr)
         check_in("optimizer", optimizer, ("sgd", "adagrad"))
-        check_in("allreduce_algorithm", allreduce_algorithm, ("ring", "hierarchical"))
+        check_in(
+            "allreduce_algorithm", allreduce_algorithm, ("ring", "hierarchical", "switch")
+        )
+        check_positive("allreduce_error_bound", allreduce_error_bound)
+        if allreduce_codec is not None:
+            from repro.compression.homomorphic import homomorphic_codecs
+
+            check_in("allreduce_codec", allreduce_codec, homomorphic_codecs())
         if overlap not in (False, True, "cross_stage"):
             raise ValueError(
                 f"overlap must be False, True, or 'cross_stage', got {overlap!r}"
@@ -140,6 +161,16 @@ class HybridParallelTrainer:
         if autotuner is not None and pipeline is not None and pipeline.autotuner is None:
             pipeline.autotuner = autotuner
         self.allreduce_algorithm = allreduce_algorithm
+        self.allreduce_codec = allreduce_codec
+        self.allreduce_error_bound = float(allreduce_error_bound)
+        #: pooled scratch for the dense-path decode (ROADMAP 5b): the
+        #: aggregated payload decodes into a BitstreamPool lease, not a
+        #: fresh per-step output allocation.
+        self._allreduce_pool = None
+        if allreduce_codec is not None:
+            from repro.compression.parallel import BitstreamPool
+
+            self._allreduce_pool = BitstreamPool()
         n_tables = model.config.n_tables
         self.sharding = sharding or ShardingPlan.size_balanced(
             list(model.config.table_cardinalities), simulator.n_ranks
@@ -410,6 +441,45 @@ class HybridParallelTrainer:
                     table_id, sparse[:, table_id], grads_to_apply[table_id]
                 )
 
+    def _homomorphic_dense_sync(self) -> None:
+        """Dense gradient all-reduce in compressed space.
+
+        The replicated-MLP trainer computes the *global* gradient in
+        process, so the per-rank contributions are reconstructed as
+        disjoint strided shards: rank ``r`` encodes a payload holding
+        elements ``r::n`` of the gradient (zeros elsewhere).  The shards
+        sum exactly to the gradient — each element has exactly one nonzero
+        leaf — so ``count_sum`` reproduces it bit for bit and ``quant_sum``
+        stays within the composed bound.  Encode/decode device time is
+        priced as one gradient-sized memcpy per rank (quantize / limb
+        kernels are memory-bound), and the final decode lands in a pooled
+        scratch lease.
+        """
+        params = self.model.mlp_parameters()
+        grads = np.concatenate([p.grad.ravel() for p in params])
+        n = self.n_ranks
+        shards = []
+        for rank in range(n):
+            shard = np.zeros_like(grads)
+            shard[rank::n] = grads[rank::n]
+            shards.append(shard)
+        codec_seconds = self.simulator.gpu.memcpy_time(grads.nbytes)
+        totals = self.comm.compressed_all_reduce(
+            shards,
+            codec=self.allreduce_codec,
+            error_bound=self.allreduce_error_bound,
+            algorithm=self.allreduce_algorithm,
+            encode_seconds=[codec_seconds] * n,
+            decode_seconds=[codec_seconds] * n,
+            pool=self._allreduce_pool,
+        )
+        total = totals[0]
+        offset = 0
+        for param in params:
+            size = param.grad.size
+            param.grad[...] = total[offset : offset + size].reshape(param.grad.shape)
+            offset += size
+
     # -------------------------------------------------------------- public
 
     def train_step(self, global_batch_size: int, iteration: int) -> float:
@@ -470,9 +540,12 @@ class HybridParallelTrainer:
 
         # Dense gradient synchronization + update (numerics are exact by
         # construction: replicated MLPs over the global batch).
-        self.comm.all_reduce_bytes(
-            self._mlp_param_bytes, algorithm=self.allreduce_algorithm
-        )
+        if self.allreduce_codec is None:
+            self.comm.all_reduce_bytes(
+                self._mlp_param_bytes, algorithm=self.allreduce_algorithm
+            )
+        else:
+            self._homomorphic_dense_sync()
         param_bytes = sum(p.data.nbytes for p in self.model.parameters())
         for rank in range(self.n_ranks):
             self.simulator.compute(

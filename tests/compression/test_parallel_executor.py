@@ -164,6 +164,49 @@ class TestChunked:
             executors["serial"].compress_chunked("fp16", np.zeros((4, 4), np.float32), chunks=0)
 
 
+class TestHomomorphicCrossBackend:
+    """The homomorphic codecs ride the same determinism contract — and
+    their *aggregated* payloads must also be byte-identical no matter
+    which backend produced the leaves."""
+
+    @pytest.mark.parametrize("codec", ["count_sum", "quant_sum"])
+    def test_aggregated_bytes_identical_across_backends(self, tables, executors, codec):
+        from repro.compression.homomorphic import agg_fold, composed_bound
+
+        compressor = get_compressor(codec)
+        bound = BOUND if compressor.error_bounded else None
+        # Equal-shape leaves (aggregation requires it): slices of one table.
+        leaves = [np.ascontiguousarray(tables[3][i * 32 : (i + 1) * 32]) for i in range(4)]
+        jobs = [CompressJob(codec, leaf, bound) for leaf in leaves]
+        expected_leaves = [bytes(p) for p in executors["serial"].compress_batch(jobs)]
+        expected_agg = agg_fold(expected_leaves)
+        for backend in ("thread", "process"):
+            payloads = [bytes(p) for p in executors[backend].compress_batch(jobs)]
+            assert payloads == expected_leaves, f"{codec} leaves diverged on {backend}"
+            assert agg_fold(payloads) == expected_agg
+        decoded = decompress_any(expected_agg)
+        exact = np.sum([leaf.astype(np.float64) for leaf in leaves], axis=0)
+        # count_sum decodes to float32, so allow one float32 ulp around the
+        # exact float64 sum; quant_sum gets its composed bound.
+        slack = float(np.spacing(np.float32(np.max(np.abs(exact), initial=1.0))))
+        tolerance = composed_bound(expected_agg) * 1.0001 + slack
+        assert np.max(np.abs(decoded.astype(np.float64) - exact), initial=0.0) <= tolerance
+
+    def test_aggregated_payload_decodes_on_every_backend(self, tables, executors):
+        from repro.compression.homomorphic import agg_fold
+
+        leaves = [np.ascontiguousarray(tables[3][i * 32 : (i + 1) * 32]) for i in range(4)]
+        payload = agg_fold(
+            executors["serial"].compress_batch(
+                [CompressJob("count_sum", leaf, None) for leaf in leaves]
+            )
+        )
+        expected = decompress_any(payload)
+        for backend in ("serial", "thread", "process"):
+            (got,) = executors[backend].decompress_batch([payload])
+            np.testing.assert_array_equal(got, expected)
+
+
 class TestProcessSlotOverflow:
     def test_payload_larger_than_slot_falls_back_to_pickle(self, tables):
         """A slot smaller than any payload forces the bytes fallback —

@@ -1,0 +1,175 @@
+"""Regression: the trainer's ``allreduce_codec=`` knob is bit-for-bound.
+
+The dense-gradient all-reduce may be routed through the homomorphic
+codecs (``Communicator.compressed_all_reduce``).  This suite pins the
+numerics contract of that knob against the seed dense path:
+
+* ``allreduce_codec=None`` (the default) is the seed path — explicitly
+  passing ``None`` changes nothing, byte for byte;
+* ``allreduce_codec="count_sum"`` is *lossless*: model parameters and
+  losses are bit-identical to the dense path after N steps, across every
+  overlap mode and all-reduce algorithm;
+* ``allreduce_codec="quant_sum"`` stays within the closed-form composed
+  bound: after S steps at learning rate lr on n ranks with error bound
+  eb, every parameter sits within ``S * lr * n * eb`` of its dense twin;
+* a non-homomorphic codec is refused at construction time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveController
+from repro.dist import IB_HDR_LIKE, NVLINK_LIKE, ClusterSimulator, NetworkModel, Topology
+from repro.model import DLRM
+from repro.train import CompressionPipeline, HybridParallelTrainer
+from tests.train.test_overlap import _tiny_workflow
+
+N_RANKS = 4
+LR = 0.2
+STEPS = 3
+
+
+def _run(config, dataset, plan, *, overlap=False, network=None, steps=STEPS, **kw):
+    sim = ClusterSimulator(N_RANKS, network=network)
+    pipeline = CompressionPipeline(AdaptiveController(plan))
+    trainer = HybridParallelTrainer(
+        DLRM(config), dataset, sim, pipeline=pipeline, lr=LR, overlap=overlap, **kw
+    )
+    losses = [trainer.train_step(32 * N_RANKS, it) for it in range(steps)]
+    params = [p.data.copy() for p in trainer.model.parameters()]
+    return sim, params, losses
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return _tiny_workflow(n_ranks=N_RANKS)
+
+
+@pytest.fixture(scope="module")
+def dense_run(workflow):
+    dataset, config, plan = workflow
+    return _run(config, dataset, plan)
+
+
+class TestSeedEquivalence:
+    def test_explicit_none_is_the_seed_path(self, workflow, dense_run):
+        dataset, config, plan = workflow
+        _, params, losses = _run(config, dataset, plan, allreduce_codec=None)
+        _, dense_params, dense_losses = dense_run
+        assert losses == dense_losses
+        for got, want in zip(params, dense_params):
+            assert got.tobytes() == want.tobytes()
+
+    @pytest.mark.parametrize("overlap", [False, True, "cross_stage"])
+    @pytest.mark.parametrize("algorithm", ["ring", "hierarchical", "switch"])
+    def test_count_sum_bit_identical_to_dense(self, workflow, overlap, algorithm):
+        dataset, config, plan = workflow
+        _, dense_params, dense_losses = _run(config, dataset, plan, overlap=overlap)
+        _, params, losses = _run(
+            config,
+            dataset,
+            plan,
+            overlap=overlap,
+            allreduce_codec="count_sum",
+            allreduce_algorithm=algorithm,
+        )
+        assert losses == dense_losses
+        for got, want in zip(params, dense_params):
+            assert got.tobytes() == want.tobytes()
+
+    def test_count_sum_bit_identical_on_switch_fabric(self, workflow):
+        dataset, config, plan = workflow
+        network = NetworkModel.from_topology(
+            Topology.hierarchical(
+                2, 2, NVLINK_LIKE, IB_HDR_LIKE, switch_aggregation=True
+            )
+        )
+        _, dense_params, dense_losses = _run(config, dataset, plan)
+        _, params, losses = _run(
+            config,
+            dataset,
+            plan,
+            network=network,
+            allreduce_codec="count_sum",
+            allreduce_algorithm="switch",
+        )
+        assert losses == dense_losses
+        for got, want in zip(params, dense_params):
+            assert got.tobytes() == want.tobytes()
+
+
+class TestQuantSumBound:
+    @pytest.mark.parametrize("overlap", [False, True, "cross_stage"])
+    def test_parameters_within_composed_bound(self, workflow, overlap, dense_run):
+        eb = 1e-3
+        dataset, config, plan = workflow
+        if overlap is not False:
+            _, dense_params, _ = _run(config, dataset, plan, overlap=overlap)
+        else:
+            _, dense_params, _ = dense_run
+        _, params, _ = _run(
+            config,
+            dataset,
+            plan,
+            overlap=overlap,
+            allreduce_codec="quant_sum",
+            allreduce_error_bound=eb,
+        )
+        # Per step the decoded gradient total is within the composed bound
+        # n * eb of the exact sum, so each SGD update moves a parameter by
+        # at most lr * n * eb away from its dense twin.
+        bound = STEPS * LR * N_RANKS * eb
+        worst = max(
+            float(np.max(np.abs(got.astype(np.float64) - want.astype(np.float64)), initial=0.0))
+            for got, want in zip(params, dense_params)
+        )
+        assert 0.0 < worst <= bound
+
+    def test_tighter_bound_tracks_dense_more_closely(self, workflow, dense_run):
+        dataset, config, plan = workflow
+        _, dense_params, _ = dense_run
+
+        def worst_delta(eb):
+            _, params, _ = _run(
+                config,
+                dataset,
+                plan,
+                allreduce_codec="quant_sum",
+                allreduce_error_bound=eb,
+            )
+            return max(
+                float(np.max(np.abs(g.astype(np.float64) - w.astype(np.float64)), initial=0.0))
+                for g, w in zip(params, dense_params)
+            )
+
+        assert worst_delta(1e-5) < worst_delta(1e-2)
+
+
+class TestValidation:
+    def test_non_homomorphic_codec_rejected(self, workflow):
+        dataset, config, plan = workflow
+        sim = ClusterSimulator(N_RANKS)
+        with pytest.raises(ValueError, match="allreduce_codec"):
+            HybridParallelTrainer(
+                DLRM(config),
+                dataset,
+                sim,
+                pipeline=CompressionPipeline(AdaptiveController(plan)),
+                lr=LR,
+                allreduce_codec="hybrid",
+            )
+
+    def test_unknown_algorithm_rejected(self, workflow):
+        dataset, config, plan = workflow
+        sim = ClusterSimulator(N_RANKS)
+        with pytest.raises(ValueError, match="allreduce_algorithm"):
+            HybridParallelTrainer(
+                DLRM(config),
+                dataset,
+                sim,
+                pipeline=CompressionPipeline(AdaptiveController(plan)),
+                lr=LR,
+                allreduce_algorithm="mesh",
+            )
