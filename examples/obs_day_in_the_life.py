@@ -9,12 +9,14 @@ prints the unified run report.
 
 With ``--out DIR`` it also writes the machine artifacts:
 
-* ``metrics.json``   — snapshot (schema ``repro.obs.snapshot/v1``)
+* ``metrics.json``   — snapshot (schema ``repro.obs.snapshot/v2``,
+  including the critical-path and SLO ``reports`` blocks)
 * ``metrics.prom``   — the same snapshot in Prometheus text format
 * ``obs_trace.json`` — one chrome trace with train / publish / serve
-  lanes, spans, and counter tracks (open in ``chrome://tracing`` or
-  Perfetto)
+  lanes, spans, counter tracks, and a per-tier critical-path highlight
+  lane (open in ``chrome://tracing`` or Perfetto)
 * ``run_report.txt`` — the report printed below
+* ``critical_path.json`` — per-tier makespan attribution
 
 Run:  python examples/obs_day_in_the_life.py [--out results/obs]
 """
@@ -44,6 +46,10 @@ def main(argv: list[str] | None = None) -> None:
         f"train makespan {result.train_makespan * 1e3:.3f} ms | "
         f"published {result.publish_wire_nbytes} wire bytes | "
         f"serve p99 {result.serve_p99_latency * 1e6:.1f} us"
+    )
+    firing = result.slo.firing() if result.slo is not None else []
+    print(
+        "SLOs firing: " + (", ".join(s.name for s in firing) if firing else "none")
     )
     for name, path in sorted(result.paths.items()):
         print(f"wrote {path}")

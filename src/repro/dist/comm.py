@@ -512,36 +512,48 @@ class Communicator:
         eid = self._exchange_counter
         self._exchange_counter += 1
         starts = [sim.sync(rank) for rank in range(n)]
+        ledger = sim.timeline.events
 
         # Stage ①: k real compression chunk kernels per rank.  Each chunk
         # compresses the same slices its wire event ships, so chunk kernel
         # time follows the same byte shares (compressed bytes as the proxy
-        # for the slices' input volume); even split otherwise.
+        # for the slices' input volume); even split otherwise.  The ledger
+        # index of every chunk kernel is kept so the wire/decode events
+        # below can carry exact release edges.
         comp_ends: list[list[float]] = []
+        comp_idx: list[list[int] | None] = []
         for rank in range(n):
             k = chunks[rank]
             if compress[rank] > 0.0:
                 shares = (
                     wire_fractions[rank] if wire_fractions is not None else [1.0 / k] * k
                 )
-                ends = [
-                    sim.stream_compute(
-                        rank,
-                        compress[rank] * shares[j],
-                        compress_category,
-                        COMPUTE_STREAM,
-                        args={"exchange": eid, "chunk": j, "chunks": k},
+                ends = []
+                idx = []
+                for j in range(k):
+                    ends.append(
+                        sim.stream_compute(
+                            rank,
+                            compress[rank] * shares[j],
+                            compress_category,
+                            COMPUTE_STREAM,
+                            args={"exchange": eid, "chunk": j, "chunks": k},
+                        )
                     )
-                    for j in range(k)
-                ]
+                    idx.append(len(ledger) - 1)
+                comp_idx.append(idx)
             else:
                 ends = [starts[rank]] * k
+                comp_idx.append(None)
             comp_ends.append(ends)
 
         # Stage ②: the size table goes out once every rank's first chunk
-        # is compressed (identical spans on every comm stream).
+        # is compressed (identical spans on every comm stream).  Its
+        # release edges are exactly those first chunks.
+        first_chunk_edges = [idx[0] for idx in comp_idx if idx is not None]
         meta_release = max(comp_ends[rank][0] for rank in range(n))
         meta_end = meta_release
+        meta_end_idx: int | None = None
         if not skip_metadata:
             for rank in range(n):
                 meta_end = sim.stream_compute(
@@ -551,29 +563,45 @@ class Communicator:
                     COMM_STREAM,
                     not_before=meta_release,
                     args={"exchange": eid},
+                    release_edges=first_chunk_edges or None,
                 )
+                meta_end_idx = len(ledger) - 1
 
         # Stage ③: per-rank injection-port pipeline — chunk j's wire
         # starts once its compress finished and the previous chunk's wire
-        # slot freed (the comm stream clock enforces the latter).
+        # slot freed (the comm stream clock enforces the latter).  Release
+        # edges: the chunk's own compress kernel plus the metadata round
+        # (or, with metadata skipped, the first chunks its release time
+        # was computed from).
         wire_ends: list[list[float]] = []
+        wire_idx: list[list[int]] = []
         for rank in range(n):
             k = chunks[rank]
             shares = (
                 wire_fractions[rank] if wire_fractions is not None else [1.0 / k] * k
             )
-            ends = [
-                sim.stream_compute(
-                    rank,
-                    payload_seconds * shares[j],
-                    category,
-                    COMM_STREAM,
-                    not_before=max(meta_end, comp_ends[rank][j]),
-                    args={"exchange": eid, "chunk": j, "chunks": k},
+            ends = []
+            idx = []
+            for j in range(k):
+                edges = [] if meta_end_idx is None else [meta_end_idx]
+                if meta_end_idx is None:
+                    edges.extend(first_chunk_edges)
+                if comp_idx[rank] is not None:
+                    edges.append(comp_idx[rank][j])
+                ends.append(
+                    sim.stream_compute(
+                        rank,
+                        payload_seconds * shares[j],
+                        category,
+                        COMM_STREAM,
+                        not_before=max(meta_end, comp_ends[rank][j]),
+                        args={"exchange": eid, "chunk": j, "chunks": k},
+                        release_edges=edges or None,
+                    )
                 )
-                for j in range(k)
-            ]
+                idx.append(len(ledger) - 1)
             wire_ends.append(ends)
+            wire_idx.append(idx)
 
         # Cross-stage hook: rank-local compute issued right after the
         # compression kernels, so the wire (and decode stalls) hide it.
@@ -599,14 +627,15 @@ class Communicator:
             if decompress[rank] > 0.0:
                 per_chunk = decompress[rank] / k
                 for j in range(k):
-                    arrival = max(
-                        wire_ends[src][
-                            min(
-                                math.ceil((j + 1) * chunks[src] / k) - 1,
-                                chunks[src] - 1,
-                            )
-                        ]
+                    matched = [
+                        min(
+                            math.ceil((j + 1) * chunks[src] / k) - 1,
+                            chunks[src] - 1,
+                        )
                         for src in range(n)
+                    ]
+                    arrival = max(
+                        wire_ends[src][matched[src]] for src in range(n)
                     )
                     dec_end = sim.stream_compute(
                         rank,
@@ -615,6 +644,9 @@ class Communicator:
                         COMPUTE_STREAM,
                         not_before=arrival,
                         args={"exchange": eid, "chunk": j, "chunks": k},
+                        release_edges=[
+                            wire_idx[src][matched[src]] for src in range(n)
+                        ],
                     )
                     if obs_on:
                         dec_intervals[rank].append((dec_end - per_chunk, dec_end))

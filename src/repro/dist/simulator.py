@@ -142,6 +142,7 @@ class ClusterSimulator:
         *,
         not_before: float | None = None,
         args: dict | None = None,
+        release_edges: list[int] | None = None,
     ) -> float:
         """Charge work to one named stream of one rank.
 
@@ -149,7 +150,10 @@ class ClusterSimulator:
         if given (the release time of the event's inputs); only that
         stream's clock advances, so events on the rank's other streams may
         run concurrently.  ``args`` attaches structured labels to the
-        logged event (e.g. chunk indices of a pipelined exchange).
+        logged event (e.g. chunk indices of a pipelined exchange);
+        ``release_edges`` names the already-logged events whose completion
+        released this one (the provenance behind ``not_before``), carried
+        into the timeline for exact dependency-DAG reconstruction.
         Returns the event's end time.
         """
         self._check_rank(rank)
@@ -162,7 +166,15 @@ class ClusterSimulator:
             start, seconds = self.fault_injector.adjust_stream_event(
                 rank, stream, start, seconds
             )
-        self.timeline.record(rank, category, start, seconds, stream=stream, args=args)
+        self.timeline.record(
+            rank,
+            category,
+            start,
+            seconds,
+            stream=stream,
+            args=args,
+            release_edges=release_edges,
+        )
         clocks[rank] = start + seconds
         return clocks[rank]
 

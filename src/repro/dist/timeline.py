@@ -24,10 +24,11 @@ chrome-trace ``"C"`` events and render as counter plots above the lanes.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 __all__ = [
     "EventCategory",
@@ -102,6 +103,14 @@ class TimelineEvent:
     "chunk": 1, "chunks": 8}`` for one chunk of a pipelined exchange);
     they ride into the chrome-trace export verbatim, so per-chunk events
     are distinguishable in the rendered timeline.
+
+    ``release_edges`` optionally names the ledger indices (positions in
+    ``Timeline.events``) of the events whose completion *released* this
+    one — the communicator records them where it knows the chunk/slot
+    release order exactly, so dependency-DAG reconstruction
+    (:mod:`repro.obs.critpath`) does not have to infer those edges from
+    coincident timestamps.  Edges always point backwards: every index
+    refers to an event recorded earlier.
     """
 
     rank: int
@@ -110,6 +119,7 @@ class TimelineEvent:
     duration: float
     stream: str = COMPUTE_STREAM
     args: Mapping[str, object] | None = field(default=None, compare=True, hash=False)
+    release_edges: tuple[int, ...] | None = None
 
     @property
     def end(self) -> float:
@@ -148,14 +158,31 @@ class Timeline:
         duration: float,
         stream: str = COMPUTE_STREAM,
         args: Mapping[str, object] | None = None,
+        release_edges: Sequence[int] | None = None,
     ) -> TimelineEvent:
-        """Append one event and return it."""
+        """Append one event and return it.
+
+        ``release_edges`` must name already-recorded events (indices into
+        :attr:`events` at call time) — dependency edges only ever point
+        backwards.
+        """
         if rank < 0:
             raise ValueError(f"rank must be >= 0, got {rank!r}")
         if duration < 0:
             raise ValueError(f"duration must be >= 0, got {duration!r}")
         if start < 0:
             raise ValueError(f"start must be >= 0, got {start!r}")
+        edges: tuple[int, ...] | None = None
+        if release_edges is not None:
+            edges = tuple(dict.fromkeys(int(i) for i in release_edges))
+            for i in edges:
+                if not 0 <= i < len(self.events):
+                    raise ValueError(
+                        f"release edge {i} does not name an already-recorded "
+                        f"event (ledger holds {len(self.events)})"
+                    )
+            if not edges:
+                edges = None
         event = TimelineEvent(
             rank=int(rank),
             category=category,
@@ -163,6 +190,7 @@ class Timeline:
             duration=float(duration),
             stream=str(stream),
             args=dict(args) if args else None,
+            release_edges=edges,
         )
         self.events.append(event)
         return event
@@ -279,7 +307,15 @@ class Timeline:
                 "tid": lane(e.rank, e.stream),
                 "ts": e.start * 1e6,
                 "dur": e.duration * 1e6,
+                # Non-standard members (viewers ignore them): the exact
+                # (rank, stream) identity and the dependency edges, so
+                # `from_chrome_trace` round-trips the ledger without
+                # parsing lane labels.
+                "rank": e.rank,
+                "stream": e.stream,
             }
+            if e.release_edges is not None:
+                entry["release_edges"] = list(e.release_edges)
             if e.args:
                 entry["args"] = dict(e.args)
             trace_events.append(entry)
@@ -296,6 +332,56 @@ class Timeline:
                 }
             )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    @classmethod
+    def from_chrome_trace(cls, trace: Mapping[str, object]) -> "Timeline":
+        """Rebuild a ledger from :meth:`to_chrome_trace` output.
+
+        Complete-duration (``"X"``) entries become events — the exact
+        (rank, stream) identity and any ``release_edges`` come from the
+        non-standard members the exporter writes; traces from other tools
+        (without those members) fall back to ``"rank N [stream]"`` lane
+        labels.  Counter (``"C"``) entries become counter samples.
+        Timestamps convert back from microseconds, so start/duration agree
+        with the original ledger to float rounding (the analysis layer
+        matches times with a tolerance for exactly this reason).
+        """
+        entries = trace.get("traceEvents", [])
+        lanes: dict[int, tuple[int, str]] = {}
+        for entry in entries:
+            if entry.get("ph") != "M" or entry.get("name") != "thread_name":
+                continue
+            label = str(entry.get("args", {}).get("name", ""))
+            match = re.fullmatch(r"rank (\d+)(?: \[(.+)\])?", label)
+            if match:
+                stream = match.group(2) or COMPUTE_STREAM
+                lanes[int(entry["tid"])] = (int(match.group(1)), stream)
+        timeline = cls()
+        for entry in entries:
+            ph = entry.get("ph")
+            if ph == "C":
+                timeline.record_counter(
+                    str(entry["name"]),
+                    float(entry["ts"]) / 1e6,
+                    float(entry.get("args", {}).get("value", 0.0)),
+                )
+                continue
+            if ph != "X":
+                continue
+            if "rank" in entry:
+                rank, stream = int(entry["rank"]), str(entry["stream"])
+            else:
+                rank, stream = lanes.get(int(entry.get("tid", 0)), (int(entry.get("tid", 0)), COMPUTE_STREAM))
+            timeline.record(
+                rank,
+                str(entry["name"]),
+                float(entry["ts"]) / 1e6,
+                float(entry.get("dur", 0.0)) / 1e6,
+                stream=stream,
+                args=entry.get("args"),
+                release_edges=entry.get("release_edges"),
+            )
+        return timeline
 
     def dump_chrome_trace(self, path: str | Path, *, process_name: str = "cluster-sim") -> Path:
         """Write :meth:`to_chrome_trace` JSON to ``path`` and return it.

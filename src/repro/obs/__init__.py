@@ -12,6 +12,12 @@ One substrate for every tier's numbers:
   chrome trace (see :func:`unified_chrome_trace`) with counter tracks.
 * Exporters — :func:`snapshot_to_json`, :func:`to_prometheus`, and the
   human :func:`run_report` table.
+* Analysis — :func:`extract_critical_path` (dependency-DAG makespan
+  attribution with ``speedup_if`` what-ifs), the :class:`SloHub`
+  burn-rate monitors fed live by the tiers, and the
+  ``repro.obs.sentry`` perf-regression gate over the committed
+  benchmark trajectory.  ``python -m repro.obs.report`` re-renders the
+  run report and critical paths from archived artifacts.
 
 Only the registry and the runtime switch load eagerly (they are what the
 hot paths import); the span/trace/exporter layers — which pull in
@@ -41,9 +47,11 @@ _LAZY_EXPORTS = {
     "Tracer": "repro.obs.span",
     "unified_chrome_trace": "repro.obs.trace",
     "dump_unified_chrome_trace": "repro.obs.trace",
+    "timelines_from_chrome_trace": "repro.obs.trace",
     "SNAPSHOT_SCHEMA_ID": "repro.obs.exporters",
     "snapshot_to_json": "repro.obs.exporters",
     "snapshot_from_json": "repro.obs.exporters",
+    "reports_from_json": "repro.obs.exporters",
     "to_prometheus": "repro.obs.exporters",
     "from_prometheus": "repro.obs.exporters",
     "run_report": "repro.obs.exporters",
@@ -51,6 +59,23 @@ _LAZY_EXPORTS = {
     "SnapshotSchemaError": "repro.obs.schema",
     "run_day_in_the_life": "repro.obs.scenario",
     "ScenarioResult": "repro.obs.scenario",
+    "CriticalPathResult": "repro.obs.critpath",
+    "CriticalStep": "repro.obs.critpath",
+    "SpeedupEstimate": "repro.obs.critpath",
+    "TimelineDag": "repro.obs.critpath",
+    "extract_critical_path": "repro.obs.critpath",
+    "critical_path_report": "repro.obs.critpath",
+    "highlight_trace_events": "repro.obs.critpath",
+    "report_json_block": "repro.obs.critpath",
+    "SLOSpec": "repro.obs.slo",
+    "SLOState": "repro.obs.slo",
+    "BurnRateMonitor": "repro.obs.slo",
+    "SloHub": "repro.obs.slo",
+    "default_monitors": "repro.obs.slo",
+    "attach_hub": "repro.obs.slo",
+    "detach_hub": "repro.obs.slo",
+    "SentryVerdict": "repro.obs.sentry",
+    "KernelVerdict": "repro.obs.sentry",
 }
 
 __all__ = [

@@ -1,0 +1,540 @@
+"""Critical-path analysis over simulation timelines.
+
+The simulator's :class:`~repro.dist.timeline.Timeline` is a flat ledger
+of per-(rank, stream) events, but the *schedule* that produced it is a
+dependency DAG: events on one stream serialize (the stream clock), chunk
+wire/decode events wait on explicit release edges (the communicator
+records them — see ``TimelineEvent.release_edges``), and collectives
+barrier every clock.  :class:`TimelineDag` reconstructs that DAG from the
+ledger and answers the question the raw trace cannot: *which chain of
+events actually set the makespan, and what would change if one stage got
+faster?*
+
+* :meth:`TimelineDag.critical_path` walks back from the event that ends
+  at the makespan, at each step following the latest-finishing releaser
+  (explicit edge > same-stream predecessor > coincident-end inference).
+  The result partitions ``[0, makespan]`` into contiguous segments, each
+  attributed to its event's (rank, stream, category) — or to ``"idle"``
+  where no recorded event explains a wait (e.g. open-loop request
+  arrivals).  Because the segments partition the interval, the
+  per-(rank, stream, category) attribution sums *exactly* to the
+  makespan — :meth:`CriticalPathResult.attribution_exact` does the sums
+  in :class:`fractions.Fraction`, so the conservation law is exact
+  rational arithmetic, not float luck.
+* :meth:`TimelineDag.speedup_if` re-schedules the whole DAG with one
+  category's durations scaled and reports the predicted makespan — the
+  what-if the adaptive controller (and a human) needs before touching a
+  kernel.  Unexplained start delays are treated as exogenous floors
+  (arrivals do not speed up because a codec did).
+* :func:`highlight_trace_events` renders the extracted path as one extra
+  chrome-trace lane, and :func:`critical_path_report` as an ASCII table
+  for ``run_report``.
+
+Analysis is strictly offline — nothing here runs unless asked, so the
+``OBS.enabled`` zero-overhead contract is untouched.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Mapping
+
+from repro.dist.timeline import OBS_STREAM, Timeline, TimelineEvent
+
+__all__ = [
+    "IDLE_CATEGORY",
+    "CriticalStep",
+    "CriticalPathResult",
+    "SpeedupEstimate",
+    "TimelineDag",
+    "extract_critical_path",
+    "critical_path_report",
+    "highlight_trace_events",
+    "report_json_block",
+]
+
+#: category attributed to critical-path waits no recorded event explains
+IDLE_CATEGORY = "idle"
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """One contiguous segment of the critical path.
+
+    ``start``/``end`` bound the *attributed* interval: the segment runs
+    from the previous step's release to this event's completion, so
+    consecutive steps tile ``[0, makespan]`` with no gaps or overlaps.
+    ``event_index`` is the ledger index of the event the segment is
+    attributed to, or ``None`` for an :data:`IDLE_CATEGORY` wait.
+    """
+
+    event_index: int | None
+    rank: int
+    stream: str
+    category: str
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SpeedupEstimate:
+    """What-if prediction: one category's durations scaled by ``1/factor``."""
+
+    category: str
+    factor: float
+    baseline_makespan: float
+    predicted_makespan: float
+
+    @property
+    def speedup(self) -> float:
+        if self.predicted_makespan <= 0.0:
+            return math.inf if self.baseline_makespan > 0.0 else 1.0
+        return self.baseline_makespan / self.predicted_makespan
+
+
+@dataclass(frozen=True)
+class CriticalPathResult:
+    """The extracted path plus its exact makespan attribution."""
+
+    makespan: float
+    steps: tuple[CriticalStep, ...]
+
+    def attribution_exact(self) -> dict[tuple[int, str, str], Fraction]:
+        """(rank, stream, category) -> attributed seconds, as exact
+        rationals.  Summing every value reproduces ``Fraction(makespan)``
+        identically — the conservation law the property tests pin."""
+        totals: dict[tuple[int, str, str], Fraction] = {}
+        for step in self.steps:
+            key = (step.rank, step.stream, step.category)
+            totals[key] = totals.get(key, Fraction(0)) + (
+                Fraction(step.end) - Fraction(step.start)
+            )
+        return totals
+
+    def attribution(self) -> dict[tuple[int, str, str], float]:
+        """(rank, stream, category) -> attributed seconds (floats)."""
+        return {k: float(v) for k, v in self.attribution_exact().items()}
+
+    def by_category(self) -> dict[str, float]:
+        """category -> attributed seconds, summed over ranks/streams."""
+        totals: dict[str, float] = {}
+        for (rank, stream, category), seconds in self.attribution().items():
+            totals[category] = totals.get(category, 0.0) + seconds
+        return totals
+
+    def to_json_dict(self) -> dict:
+        """The machine-readable ``critical_path`` report block (see
+        ``repro.obs.schema``)."""
+        return {
+            "makespan": self.makespan,
+            "attribution": [
+                {"rank": rank, "stream": stream, "category": category, "seconds": seconds}
+                for (rank, stream, category), seconds in sorted(
+                    self.attribution().items(), key=lambda kv: -kv[1]
+                )
+            ],
+            "steps": [
+                {
+                    "event_index": step.event_index,
+                    "rank": step.rank,
+                    "stream": step.stream,
+                    "category": step.category,
+                    "start": step.start,
+                    "end": step.end,
+                }
+                for step in self.steps
+            ],
+        }
+
+
+class _Node:
+    __slots__ = ("event", "index", "lane_pred", "explicit", "group", "new_end")
+
+    def __init__(self, event: TimelineEvent, index: int):
+        self.event = event
+        self.index = index  # ledger index
+        self.lane_pred: int | None = None  # ledger index of same-lane predecessor
+        self.explicit: tuple[int, ...] = ()  # ledger indices of release edges
+        self.group: int | None = None  # collective-barrier group id
+        self.new_end: float = 0.0
+
+
+class TimelineDag:
+    """Dependency DAG reconstructed from one timeline's event ledger."""
+
+    def __init__(self, nodes: dict[int, _Node], groups: list[list[int]], eps: float):
+        self._nodes = nodes
+        self._groups = groups
+        self._eps = eps
+        self._ends_sorted = sorted(
+            ((node.event.end, index) for index, node in nodes.items())
+        )
+        self._end_values = [end for end, _ in self._ends_sorted]
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_timeline(cls, timeline: Timeline) -> "TimelineDag":
+        """Reconstruct the DAG: stream-order edges, explicit release
+        edges, and collective-barrier groups (contiguously-recorded runs
+        of identical spans on distinct ranks — how ``collective()``
+        writes them)."""
+        nodes: dict[int, _Node] = {}
+        for index, event in enumerate(timeline.events):
+            if event.stream == OBS_STREAM:
+                continue  # annotation spans cover work already recorded
+            nodes[index] = _Node(event, index)
+
+        lanes: dict[tuple[int, str], list[int]] = {}
+        for index, node in nodes.items():
+            lanes.setdefault((node.event.rank, node.event.stream), []).append(index)
+        for members in lanes.values():
+            members.sort(key=lambda i: (nodes[i].event.start, i))
+            for prev, cur in zip(members, members[1:]):
+                nodes[cur].lane_pred = prev
+
+        for index, node in nodes.items():
+            if node.event.release_edges:
+                node.explicit = tuple(
+                    i for i in node.event.release_edges if i in nodes and i < index
+                )
+
+        groups: list[list[int]] = []
+        ordered = sorted(nodes)
+        run: list[int] = []
+
+        def flush() -> None:
+            # A genuine collective() barrier: one identical span per rank,
+            # recorded contiguously, with no explicit release edges (events
+            # that carry edges — e.g. the pipelined metadata round — are
+            # released by those edges, not by a barrier over every clock).
+            if (
+                len(run) >= 2
+                and len({nodes[i].event.rank for i in run}) == len(run)
+                and all(not nodes[i].explicit for i in run)
+            ):
+                gid = len(groups)
+                groups.append(list(run))
+                for i in run:
+                    nodes[i].group = gid
+
+        for index in ordered:
+            event = nodes[index].event
+            if run:
+                head = nodes[run[0]].event
+                same = (
+                    index == run[-1] + 1
+                    and event.category == head.category
+                    and event.stream == head.stream
+                    and event.start == head.start
+                    and event.duration == head.duration
+                    and event.rank not in {nodes[i].event.rank for i in run}
+                )
+                if not same:
+                    flush()
+                    run.clear()
+            run.append(index)
+        flush()
+
+        makespan = max((n.event.end for n in nodes.values()), default=0.0)
+        eps = 1e-9 * max(1.0, makespan)
+        return cls(nodes, groups, eps)
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def makespan(self) -> float:
+        return self._end_values[-1] if self._end_values else 0.0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _ending_at(self, time: float) -> list[int]:
+        """Ledger indices of events whose end matches ``time`` within the
+        tolerance (exact in fresh ledgers; the tolerance absorbs the
+        microsecond round-trip of parsed chrome traces)."""
+        lo = bisect.bisect_left(self._end_values, time - self._eps)
+        hi = bisect.bisect_right(self._end_values, time + self._eps)
+        return [index for _, index in self._ends_sorted[lo:hi]]
+
+    def _releaser(self, index: int, visited: set[int]) -> int | None:
+        """The latest-finishing dependency of one event: explicit release
+        edges and the same-lane predecessor always qualify; events ending
+        exactly at this event's start qualify when the lane alone does not
+        explain the start (a cross-stream join or collective barrier)."""
+        node = self._nodes[index]
+        event = node.event
+        candidates: list[int] = [i for i in node.explicit if i not in visited]
+        lane_pred = node.lane_pred
+        gap = event.start - self._eps > (
+            self._nodes[lane_pred].event.end if lane_pred is not None else 0.0
+        )
+        if lane_pred is not None and lane_pred not in visited:
+            candidates.append(lane_pred)
+        if gap or lane_pred is None:
+            candidates.extend(
+                i for i in self._ending_at(event.start) if i != index and i not in visited
+            )
+        candidates = [
+            i for i in candidates if self._nodes[i].event.end <= event.start + self._eps
+        ]
+        if not candidates:
+            return None
+        # Latest end wins (the binding constraint); prefer explicit edges,
+        # then the lane, on exact ties so the rendered path reads causally.
+        def priority(i: int) -> tuple:
+            n = self._nodes[i]
+            return (n.event.end, i in node.explicit, i == lane_pred, -i)
+
+        return max(candidates, key=priority)
+
+    # --------------------------------------------------------- critical path
+
+    def critical_path(self) -> CriticalPathResult:
+        """Walk back from the makespan event, tiling ``[0, makespan]``
+        into attributed segments (see :class:`CriticalStep`)."""
+        if not self._nodes:
+            return CriticalPathResult(makespan=0.0, steps=())
+        terminal = max(self._nodes, key=lambda i: (self._nodes[i].event.end, i))
+        steps: list[CriticalStep] = []
+        visited: set[int] = set()
+        current: int | None = terminal
+        while current is not None:
+            visited.add(current)
+            event = self._nodes[current].event
+            pred = self._releaser(current, visited)
+            pred_end = self._nodes[pred].event.end if pred is not None else 0.0
+            if pred_end < event.start - self._eps:
+                # Unexplained wait: attribute the gap honestly as idle
+                # time on this event's lane instead of inflating the event.
+                steps.append(
+                    CriticalStep(
+                        event_index=current,
+                        rank=event.rank,
+                        stream=event.stream,
+                        category=event.category,
+                        start=event.start,
+                        end=event.end,
+                    )
+                )
+                steps.append(
+                    CriticalStep(
+                        event_index=None,
+                        rank=event.rank,
+                        stream=event.stream,
+                        category=IDLE_CATEGORY,
+                        start=pred_end,
+                        end=event.start,
+                    )
+                )
+            else:
+                steps.append(
+                    CriticalStep(
+                        event_index=current,
+                        rank=event.rank,
+                        stream=event.stream,
+                        category=event.category,
+                        start=pred_end,
+                        end=event.end,
+                    )
+                )
+            current = pred
+        steps.reverse()
+        return CriticalPathResult(makespan=self.makespan, steps=tuple(steps))
+
+    # -------------------------------------------------------------- what-ifs
+
+    def reschedule(self, scale: Callable[[TimelineEvent], float]) -> float:
+        """Forward-simulate the DAG with per-event duration scaling and
+        return the new makespan.
+
+        Constraints honored: stream order, explicit release edges,
+        inferred cross-stream joins (only where the original schedule
+        shows one binding), collective barriers (a group starts when every
+        earlier-recorded event finished), and exogenous start floors where
+        no dependency explains an event's start (open-loop arrivals keep
+        their clock).  ``scale(event) == 1.0`` for every event reproduces
+        the original makespan exactly.
+        """
+        order = sorted(
+            self._nodes,
+            key=lambda i: (self._nodes[i].event.start, self._nodes[i].event.end, i),
+        )
+        processed: set[int] = set()
+        group_start: dict[int, float] = {}
+        makespan = 0.0
+        for index in order:
+            node = self._nodes[index]
+            event = node.event
+            start = 0.0
+            deps: list[int] = list(node.explicit)
+            if node.lane_pred is not None:
+                deps.append(node.lane_pred)
+            lane_end = (
+                self._nodes[node.lane_pred].event.end
+                if node.lane_pred is not None
+                else 0.0
+            )
+            explained = max(
+                [lane_end]
+                + [self._nodes[i].event.end for i in node.explicit],
+                default=0.0,
+            )
+            if node.group is not None:
+                gid = node.group
+                if gid not in group_start:
+                    # A collective barriers every clock: the group starts
+                    # once every earlier-recorded event has finished.
+                    first = min(self._groups[gid])
+                    group_start[gid] = max(
+                        (
+                            self._nodes[i].new_end
+                            for i in processed
+                            if i < first
+                        ),
+                        default=0.0,
+                    )
+                start = group_start[gid]
+                explained = event.start  # the barrier fully explains it
+            elif event.start - self._eps > lane_end:
+                joins = [
+                    i
+                    for i in self._ending_at(event.start)
+                    if i != index and i < index
+                ]
+                deps.extend(joins)
+                if joins:
+                    explained = max(
+                        explained, max(self._nodes[i].event.end for i in joins)
+                    )
+            for i in deps:
+                if i in processed:  # guaranteed by the processing order
+                    start = max(start, self._nodes[i].new_end)
+            if event.start - self._eps > explained:
+                # Exogenous delay (e.g. a request arrival): keep it.
+                start = max(start, event.start)
+            factor = float(scale(event))
+            if not math.isfinite(factor) or factor < 0.0:
+                raise ValueError(f"scale must be finite and >= 0, got {factor!r}")
+            node.new_end = start + event.duration * factor
+            processed.add(index)
+            makespan = max(makespan, node.new_end)
+        return makespan
+
+    def speedup_if(self, category: str, factor: float) -> SpeedupEstimate:
+        """Predicted makespan if every ``category`` event ran ``factor``
+        times faster (``factor < 1`` models a slowdown)."""
+        factor = float(factor)
+        if not math.isfinite(factor) or factor <= 0.0:
+            raise ValueError(f"factor must be finite and > 0, got {factor!r}")
+        predicted = self.reschedule(
+            lambda event: 1.0 / factor if str(event.category) == str(category) else 1.0
+        )
+        return SpeedupEstimate(
+            category=str(category),
+            factor=factor,
+            baseline_makespan=self.makespan,
+            predicted_makespan=predicted,
+        )
+
+
+def extract_critical_path(timeline: Timeline) -> CriticalPathResult:
+    """Reconstruct the DAG and extract the critical path in one call."""
+    return TimelineDag.from_timeline(timeline).critical_path()
+
+
+def critical_path_report(
+    result: CriticalPathResult, *, title: str = "Critical path"
+) -> str:
+    """The ``critical_path_report`` table ``run_report`` embeds: makespan
+    attribution per (rank, stream, category), heaviest first."""
+    from repro.utils.tables import format_table
+
+    rows = [
+        (
+            category,
+            rank,
+            stream,
+            f"{seconds:.6f}",
+            f"{100.0 * seconds / result.makespan:.1f}%" if result.makespan else "-",
+        )
+        for (rank, stream, category), seconds in sorted(
+            result.attribution().items(), key=lambda kv: -kv[1]
+        )
+    ]
+    table = format_table(
+        ["category", "rank", "stream", "seconds", "share"],
+        rows,
+        title=f"{title} — makespan {result.makespan:.6f}s over {len(result.steps)} steps",
+    )
+    return table
+
+
+def highlight_trace_events(
+    result: CriticalPathResult,
+    *,
+    pid: int = 0,
+    tid: int = 10_000,
+    offset_seconds: float = 0.0,
+    process_name: str | None = None,
+) -> list[dict]:
+    """Render the critical path as one chrome-trace highlight lane.
+
+    Returns ``"X"`` entries (plus lane/process metadata) on a dedicated
+    thread id; append them to an existing trace's ``traceEvents`` to see
+    the binding chain as its own swim lane above the per-rank lanes.
+    """
+    entries: list[dict] = []
+    if process_name is not None:
+        entries.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": process_name},
+            }
+        )
+    entries.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "critical path"},
+        }
+    )
+    shift_us = float(offset_seconds) * 1e6
+    for step in result.steps:
+        entries.append(
+            {
+                "name": f"{step.category} (rank {step.rank})",
+                "cat": "critpath",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": step.start * 1e6 + shift_us,
+                "dur": step.seconds * 1e6,
+                "args": {
+                    "rank": step.rank,
+                    "stream": step.stream,
+                    "event_index": step.event_index,
+                },
+            }
+        )
+    return entries
+
+
+def report_json_block(
+    results: Mapping[str, CriticalPathResult]
+) -> dict[str, dict]:
+    """tier name -> machine-readable critical-path block (the shape the
+    snapshot schema validates under ``reports.critical_path``)."""
+    return {name: result.to_json_dict() for name, result in results.items()}

@@ -35,14 +35,20 @@ from repro.utils.tables import format_table
 
 __all__ = [
     "SNAPSHOT_SCHEMA_ID",
+    "SNAPSHOT_SCHEMA_V1",
     "snapshot_to_json",
     "snapshot_from_json",
+    "reports_from_json",
     "to_prometheus",
     "from_prometheus",
     "run_report",
 ]
 
-SNAPSHOT_SCHEMA_ID = "repro.obs.snapshot/v1"
+#: v2 adds the optional top-level ``reports`` object (critical-path and
+#: SLO blocks); the metric families are unchanged, so v1 documents stay
+#: parseable — :func:`snapshot_from_json` accepts both.
+SNAPSHOT_SCHEMA_ID = "repro.obs.snapshot/v2"
+SNAPSHOT_SCHEMA_V1 = "repro.obs.snapshot/v1"
 
 
 def _coerce_snapshot(source: RegistrySnapshot | MetricsRegistry) -> RegistrySnapshot:
@@ -61,9 +67,18 @@ def _labels_dict(key: LabelKey) -> dict[str, str]:
 
 
 def snapshot_to_json(
-    source: RegistrySnapshot | MetricsRegistry, *, indent: int | None = None
+    source: RegistrySnapshot | MetricsRegistry,
+    *,
+    indent: int | None = None,
+    reports: Mapping[str, object] | None = None,
 ) -> str:
-    """Serialize a snapshot (or a live registry) to schema-tagged JSON."""
+    """Serialize a snapshot (or a live registry) to schema-tagged JSON.
+
+    ``reports`` attaches derived-analysis blocks (``critical_path`` from
+    :func:`repro.obs.critpath.report_json_block`, ``slo`` from
+    :meth:`repro.obs.slo.SloHub.to_json_dict`) under the top-level
+    ``reports`` key — see ``repro.obs.schema`` for their shapes.
+    """
     snapshot = _coerce_snapshot(source)
     families = []
     for name, fam in snapshot.families:
@@ -88,17 +103,24 @@ def snapshot_to_json(
         families.append(
             {"name": name, "kind": fam.kind, "help": fam.help, "series": series}
         )
-    return json.dumps(
-        {"schema": SNAPSHOT_SCHEMA_ID, "families": families}, indent=indent
-    )
+    payload: dict[str, object] = {"schema": SNAPSHOT_SCHEMA_ID, "families": families}
+    if reports:
+        payload["reports"] = dict(reports)
+    return json.dumps(payload, indent=indent)
 
 
 def snapshot_from_json(text: str) -> RegistrySnapshot:
-    """Parse :func:`snapshot_to_json` output back into a snapshot."""
+    """Parse :func:`snapshot_to_json` output back into a snapshot.
+
+    Accepts the current v2 documents and archived v1 snapshots (identical
+    families block, no ``reports``) — the migration path for metrics.json
+    files written before the schema bump.
+    """
     payload = json.loads(text)
-    if payload.get("schema") != SNAPSHOT_SCHEMA_ID:
+    if payload.get("schema") not in (SNAPSHOT_SCHEMA_ID, SNAPSHOT_SCHEMA_V1):
         raise ValueError(
-            f"expected schema {SNAPSHOT_SCHEMA_ID!r}, got {payload.get('schema')!r}"
+            f"expected schema {SNAPSHOT_SCHEMA_ID!r} (or {SNAPSHOT_SCHEMA_V1!r}), "
+            f"got {payload.get('schema')!r}"
         )
     families = []
     for fam in payload["families"]:
@@ -131,6 +153,14 @@ def snapshot_from_json(text: str) -> RegistrySnapshot:
             )
         )
     return RegistrySnapshot(families=tuple(families))
+
+
+def reports_from_json(text: str) -> dict:
+    """The ``reports`` block of a snapshot document ({} for v1 files or
+    v2 files written without one)."""
+    payload = json.loads(text)
+    reports = payload.get("reports")
+    return dict(reports) if isinstance(reports, dict) else {}
 
 
 # --------------------------------------------------------------------------
@@ -367,6 +397,8 @@ def run_report(
     source: RegistrySnapshot | MetricsRegistry,
     *,
     timelines: Mapping[str, object] | None = None,
+    critical_paths: Mapping[str, object] | None = None,
+    slo: object | None = None,
     title: str = "Run report",
 ) -> str:
     """Render the whole run as aligned ASCII tables.
@@ -375,7 +407,11 @@ def run_report(
     exact-rank p50/p99), then — when ``timelines`` maps tier names to
     :class:`~repro.dist.timeline.Timeline` objects — the per-category
     time breakdown of each tier, subsuming what ``breakdown_report``
-    printed per-timeline.
+    printed per-timeline.  ``critical_paths`` maps tier names to
+    :class:`~repro.obs.critpath.CriticalPathResult` objects and renders
+    each tier's makespan attribution; ``slo`` takes a
+    :class:`~repro.obs.slo.SloHub` (or a list of its states) and renders
+    the burn-rate table.
     """
     from repro.profiling.breakdown import breakdown_report  # avoid import cycle
 
@@ -426,6 +462,37 @@ def run_report(
                 timeline, title=f"{title} — {tier_name} time breakdown"
             )
         )
+    if critical_paths:
+        from repro.obs.critpath import critical_path_report
+
+        for tier_name, result in critical_paths.items():
+            sections.append(
+                critical_path_report(
+                    result, title=f"{title} — {tier_name} critical path"
+                )
+            )
+    if slo is not None:
+        states = slo.states() if hasattr(slo, "states") else list(slo)
+        slo_rows = [
+            (
+                s.name,
+                s.source,
+                s.samples,
+                s.bad_samples,
+                f"{s.fast_burn_rate:.2f}",
+                f"{s.slow_burn_rate:.2f}",
+                "FIRING" if s.firing else "ok",
+            )
+            for s in states
+        ]
+        if slo_rows:
+            sections.append(
+                format_table(
+                    ["slo", "source", "samples", "bad", "fast burn", "slow burn", "state"],
+                    slo_rows,
+                    title=f"{title} — SLO burn rates",
+                )
+            )
     if not sections:
         return f"{title}: no metrics recorded"
     return "\n\n".join(sections)

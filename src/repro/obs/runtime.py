@@ -30,11 +30,15 @@ __all__ = ["OBS", "enable", "disable", "enabled", "get_registry", "capture"]
 class _ObsState:
     """Process-wide observability switch (a singleton, like a logger root)."""
 
-    __slots__ = ("enabled", "registry")
+    __slots__ = ("enabled", "registry", "slo_hub")
 
     def __init__(self) -> None:
         self.enabled = False
         self.registry: MetricsRegistry | None = None
+        # An optional repro.obs.slo.SloHub; kept as an opaque attribute so
+        # this module stays import-cycle-free.  Feed sites double-guard:
+        # ``if OBS.enabled and OBS.slo_hub is not None``.
+        self.slo_hub = None
 
 
 OBS = _ObsState()
@@ -49,9 +53,10 @@ def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
 
 
 def disable() -> None:
-    """Turn instrumentation off and drop the active registry."""
+    """Turn instrumentation off and drop the active registry and SLO hub."""
     OBS.enabled = False
     OBS.registry = None
+    OBS.slo_hub = None
 
 
 def enabled() -> bool:
@@ -73,9 +78,9 @@ def capture(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry
             trainer.train(iterations=3)
         snap = reg.snapshot()
     """
-    prior = (OBS.enabled, OBS.registry)
+    prior = (OBS.enabled, OBS.registry, OBS.slo_hub)
     reg = enable(registry)
     try:
         yield reg
     finally:
-        OBS.enabled, OBS.registry = prior
+        OBS.enabled, OBS.registry, OBS.slo_hub = prior

@@ -12,10 +12,18 @@ stack can produce from one run:
   as separate process lanes, each with its spans and counter tracks),
 * the human :func:`~repro.obs.exporters.run_report` text.
 
+On top of the raw artifacts, the run is *analyzed*: each tier's
+timeline gets a critical-path extraction (rendered as a highlight lane
+in the unified trace and as makespan-attribution tables in the report)
+and the three tiers feed live SLO burn-rate monitors (serve p99 vs
+target, publication staleness vs the adaptive plan's bound, train step
+time vs budget).
+
 This is the scenario behind ``examples/obs_day_in_the_life.py`` and the
 CI ``obs-smoke`` job: with ``out_dir`` set it writes ``metrics.json``
-(validated against the snapshot schema), ``metrics.prom``,
-``obs_trace.json``, and ``run_report.txt``.
+(validated against the snapshot schema, including the ``reports``
+block), ``metrics.prom``, ``obs_trace.json``, ``run_report.txt``, and
+``critical_path.json``.
 """
 
 from __future__ import annotations
@@ -41,6 +49,10 @@ class ScenarioResult:
     serve_p99_latency: float
     #: paths written when ``out_dir`` was given, keyed by artifact name
     paths: dict[str, Path]
+    #: tier name -> CriticalPathResult over that tier's timeline
+    critical_paths: dict | None = None
+    #: the run's SloHub (burn-rate monitors, already fed)
+    slo: object | None = None
 
 
 def run_day_in_the_life(
@@ -50,6 +62,8 @@ def run_day_in_the_life(
     n_tables: int = 6,
     cardinality: int = 400,
     qps: float = 2000.0,
+    serve_latency_target: float = 2e-3,
+    train_step_target: float = 5e-3,
     out_dir: str | Path | None = None,
     seed: int = 7,
 ) -> ScenarioResult:
@@ -67,8 +81,14 @@ def run_day_in_the_life(
     from repro.dist import ClusterSimulator
     from repro.dist.timeline import Timeline
     from repro.model import DLRM, DLRMConfig
+    from repro.obs.critpath import (
+        extract_critical_path,
+        highlight_trace_events,
+        report_json_block,
+    )
     from repro.obs.exporters import run_report, snapshot_to_json, to_prometheus
     from repro.obs.schema import validate_snapshot_json
+    from repro.obs.slo import SloHub, attach_hub, default_monitors
     from repro.obs.trace import unified_chrome_trace
     from repro.serve import build_serving_tier
     from repro.serve.loadgen import RequestLoadGenerator
@@ -94,6 +114,25 @@ def run_day_in_the_life(
         samples = {j: model.lookup(j, batch.sparse[:, j]) for j in range(n_tables)}
         plan = OfflineAnalyzer().analyze(samples)
         pipeline = CompressionPipeline(AdaptiveController(plan))
+
+        # --- SLOs: the staleness bound is exactly what the adaptive plan
+        # promises (worst per-table effective error bound at the publish
+        # iteration); serve latency and step time get scenario budgets.
+        controller = pipeline.controller
+        staleness_bound = max(
+            controller.error_bound(t, n_iterations - 1)
+            for t in controller.table_ids()
+        )
+        slo_hub = attach_hub(
+            SloHub(
+                default_monitors(
+                    serve_p99_target=serve_latency_target,
+                    publish_staleness_bound=staleness_bound,
+                    train_step_target=train_step_target,
+                )
+            )
+        )
+
         trainer = HybridParallelTrainer(
             model,
             dataset,
@@ -137,7 +176,29 @@ def run_day_in_the_life(
             "serve": train_makespan,
         }
         trace = unified_chrome_trace(timelines, offsets=offsets)
-        report = run_report(snapshot, timelines=timelines, title="Day in the life")
+        # --- critical path per tier, rendered as an extra highlight lane
+        # on each tier's process in the unified trace
+        critical_paths = {
+            name: extract_critical_path(timeline)
+            for name, timeline in timelines.items()
+            if len(timeline.events)
+        }
+        tier_meta = trace["metadata"]["tiers"]
+        for name, result in critical_paths.items():
+            trace["traceEvents"].extend(
+                highlight_trace_events(
+                    result,
+                    pid=tier_meta[name]["pid"],
+                    offset_seconds=tier_meta[name]["offset_seconds"],
+                )
+            )
+        report = run_report(
+            snapshot,
+            timelines=timelines,
+            critical_paths=critical_paths,
+            slo=slo_hub,
+            title="Day in the life",
+        )
 
     paths: dict[str, Path] = {}
     if out_dir is not None:
@@ -145,7 +206,11 @@ def run_day_in_the_life(
 
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
-        metrics_json = snapshot_to_json(snapshot, indent=2)
+        reports_block = {
+            "critical_path": report_json_block(critical_paths),
+            "slo": slo_hub.to_json_dict(),
+        }
+        metrics_json = snapshot_to_json(snapshot, indent=2, reports=reports_block)
         validate_snapshot_json(metrics_json)  # never ship an invalid artifact
         paths["metrics.json"] = out / "metrics.json"
         paths["metrics.json"].write_text(metrics_json)
@@ -155,6 +220,10 @@ def run_day_in_the_life(
         paths["obs_trace.json"].write_text(json.dumps(trace))
         paths["run_report.txt"] = out / "run_report.txt"
         paths["run_report.txt"].write_text(report + "\n")
+        paths["critical_path.json"] = out / "critical_path.json"
+        paths["critical_path.json"].write_text(
+            json.dumps(report_json_block(critical_paths), indent=2) + "\n"
+        )
 
     return ScenarioResult(
         snapshot=snapshot,
@@ -164,4 +233,6 @@ def run_day_in_the_life(
         publish_wire_nbytes=publication.wire_nbytes,
         serve_p99_latency=serving_report.p99_latency,
         paths=paths,
+        critical_paths=critical_paths,
+        slo=slo_hub,
     )

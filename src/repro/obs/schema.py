@@ -10,6 +10,27 @@ Validation is hand-rolled (no jsonschema dependency): every structural
 rule the parser relies on is checked, and violations raise
 :class:`SnapshotSchemaError` with a JSON-pointer-ish path to the bad
 node.
+
+Two document versions are accepted:
+
+* ``repro.obs.snapshot/v1`` — ``{"schema", "families"}``: the metric
+  families (counters, gauges, histograms with exact reservoirs).
+* ``repro.obs.snapshot/v2`` — v1 plus an optional top-level ``reports``
+  object carrying derived-analysis blocks:
+
+  * ``reports.critical_path`` — tier name to
+    ``{"makespan", "attribution", "steps"}`` as produced by
+    :meth:`repro.obs.critpath.CriticalPathResult.to_json_dict`.
+    ``attribution`` rows are ``{rank, stream, category, seconds}`` and
+    must sum to the makespan (the conservation law, checked here to a
+    1e-6 relative tolerance); ``steps`` rows are ``{event_index, rank,
+    stream, category, start, end}`` tiling ``[0, makespan]``.
+  * ``reports.slo`` — ``{"monitors": [...]}`` as produced by
+    :meth:`repro.obs.slo.SloHub.to_json_dict`; each monitor carries its
+    spec (``name``, ``source``, ``threshold``, ``objective``, windows)
+    and evaluation (``samples``, ``bad_samples``, ``fast_burn_rate``,
+    ``slow_burn_rate`` — numbers or the string ``"inf"`` — and
+    ``firing``).
 """
 
 from __future__ import annotations
@@ -20,12 +41,13 @@ from pathlib import Path
 
 __all__ = ["SnapshotSchemaError", "validate_snapshot_json", "main"]
 
-SCHEMA_ID = "repro.obs.snapshot/v1"
+SCHEMA_ID = "repro.obs.snapshot/v2"
+SCHEMA_ID_V1 = "repro.obs.snapshot/v1"
 _KINDS = ("counter", "gauge", "histogram")
 
 
 class SnapshotSchemaError(ValueError):
-    """A snapshot JSON document violates the v1 schema."""
+    """A snapshot JSON document violates the schema."""
 
 
 def _fail(path: str, message: str) -> None:
@@ -112,10 +134,11 @@ def validate_snapshot_json(text: str) -> dict:
     except json.JSONDecodeError as exc:
         raise SnapshotSchemaError(f"$: not valid JSON ({exc})") from exc
     _require(isinstance(payload, dict), "$", "document must be an object")
+    schema = payload.get("schema")
     _require(
-        payload.get("schema") == SCHEMA_ID,
+        schema in (SCHEMA_ID, SCHEMA_ID_V1),
         "$.schema",
-        f"must be {SCHEMA_ID!r}, got {payload.get('schema')!r}",
+        f"must be {SCHEMA_ID!r} or {SCHEMA_ID_V1!r}, got {schema!r}",
     )
     families = payload.get("families")
     _require(isinstance(families, list), "$.families", "must be a list")
@@ -153,7 +176,119 @@ def validate_snapshot_json(text: str) -> dict:
             else:
                 _require("value" in entry, spath, f"{fam['kind']} series needs 'value'")
                 _require(_is_num(entry["value"]), f"{spath}.value", "must be a number")
+    if "reports" in payload:
+        _require(
+            schema == SCHEMA_ID,
+            "$.reports",
+            f"only allowed in {SCHEMA_ID!r} documents",
+        )
+        _check_reports(payload["reports"], "$.reports")
     return payload
+
+
+def _is_burn(value: object) -> bool:
+    return _is_num(value) or value == "inf"
+
+
+def _check_reports(reports: object, path: str) -> None:
+    _require(isinstance(reports, dict), path, "must be an object")
+    assert isinstance(reports, dict)
+    known = {"critical_path", "slo"}
+    unknown = set(reports) - known
+    _require(not unknown, path, f"unknown report blocks: {sorted(unknown)}")
+    if "critical_path" in reports:
+        block = reports["critical_path"]
+        bpath = f"{path}.critical_path"
+        _require(isinstance(block, dict), bpath, "must map tier -> result")
+        for tier, result in block.items():
+            _check_critical_path(result, f"{bpath}.{tier}")
+    if "slo" in reports:
+        _check_slo(reports["slo"], f"{path}.slo")
+
+
+def _check_critical_path(result: object, path: str) -> None:
+    _require(isinstance(result, dict), path, "must be an object")
+    assert isinstance(result, dict)
+    missing = {"makespan", "attribution", "steps"} - set(result)
+    _require(not missing, path, f"missing keys: {sorted(missing)}")
+    makespan = result["makespan"]
+    _require(
+        _is_num(makespan) and makespan >= 0, f"{path}.makespan", "must be a number >= 0"
+    )
+    attribution = result["attribution"]
+    _require(isinstance(attribution, list), f"{path}.attribution", "must be a list")
+    total = 0.0
+    for i, row in enumerate(attribution):
+        rpath = f"{path}.attribution[{i}]"
+        _require(isinstance(row, dict), rpath, "must be an object")
+        _require(
+            isinstance(row.get("rank"), int) and not isinstance(row.get("rank"), bool),
+            f"{rpath}.rank",
+            "must be an integer",
+        )
+        for key in ("stream", "category"):
+            _require(isinstance(row.get(key), str), f"{rpath}.{key}", "must be a string")
+        _require(
+            _is_num(row.get("seconds")) and row["seconds"] >= 0,
+            f"{rpath}.seconds",
+            "must be a number >= 0",
+        )
+        total += row["seconds"]
+    _require(
+        abs(total - makespan) <= 1e-6 * max(1.0, abs(makespan)),
+        f"{path}.attribution",
+        f"seconds must sum to the makespan (got {total!r} vs {makespan!r})",
+    )
+    steps = result["steps"]
+    _require(isinstance(steps, list), f"{path}.steps", "must be a list")
+    for i, step in enumerate(steps):
+        spath = f"{path}.steps[{i}]"
+        _require(isinstance(step, dict), spath, "must be an object")
+        idx = step.get("event_index")
+        _require(
+            idx is None or (isinstance(idx, int) and not isinstance(idx, bool)),
+            f"{spath}.event_index",
+            "must be null (idle) or an integer ledger index",
+        )
+        for key in ("start", "end"):
+            _require(_is_num(step.get(key)), f"{spath}.{key}", "must be a number")
+        _require(
+            step["start"] <= step["end"], spath, "start must not exceed end"
+        )
+
+
+def _check_slo(block: object, path: str) -> None:
+    _require(isinstance(block, dict), path, "must be an object")
+    assert isinstance(block, dict)
+    monitors = block.get("monitors")
+    _require(isinstance(monitors, list), f"{path}.monitors", "must be a list")
+    for i, mon in enumerate(monitors):
+        mpath = f"{path}.monitors[{i}]"
+        _require(isinstance(mon, dict), mpath, "must be an object")
+        for key in ("name", "source"):
+            _require(
+                isinstance(mon.get(key), str) and bool(mon.get(key)),
+                f"{mpath}.{key}",
+                "must be a non-empty string",
+            )
+        for key in ("threshold", "objective", "fast_window", "slow_window", "now"):
+            _require(_is_num(mon.get(key)), f"{mpath}.{key}", "must be a number")
+        for key in ("samples", "bad_samples"):
+            value = mon.get(key)
+            _require(
+                isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+                f"{mpath}.{key}",
+                "must be a non-negative integer",
+            )
+        for key in ("fast_burn_rate", "slow_burn_rate"):
+            _require(
+                _is_burn(mon.get(key)),
+                f"{mpath}.{key}",
+                'must be a number or "inf"',
+            )
+        _require(
+            isinstance(mon.get("firing"), bool), f"{mpath}.firing", "must be a boolean"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,300 @@
+"""Perf-regression sentry over the committed benchmark trajectory.
+
+``BENCH_compression.json`` carries one :mod:`repro.profiling.perfbench`
+run per landed change (a v2 *trajectory*).  A single-baseline gate like
+``perfbench --check`` answers "did this run fall off a cliff?"; the
+sentry answers the sharper question "is this run outside the band the
+kernel's own history predicts?" — per kernel, with robust statistics, on
+whatever machine happens to run it.
+
+Per (codec, op, shape) kernel:
+
+1. every historical run's throughput is **normalized to the current
+   machine** — the frozen ``_reference_*`` implementations never change,
+   so the median ratio of that run's reference times to the current
+   run's is a pure machine-speed factor;
+2. the baseline is the **median** of the normalized points and the noise
+   scale is ``1.4826 * MAD`` (both immune to the odd loaded-CI outlier);
+3. the acceptance band is ``median ± max(mad_k * sigma, width_floor *
+   median)`` — the floor keeps a kernel whose history happens to be
+   eerily quiet from flagging ordinary timing jitter;
+4. kernels with fewer than ``min_points`` history points are reported as
+   ``insufficient`` and never fail the gate.
+
+The verdict is machine-readable JSON (``sentry_verdict.json`` in CI's
+obs-smoke artifact); below-band kernels are ``regressions`` and fail the
+gate, above-band kernels are ``improvements`` (informational — refresh
+the trajectory).  ``--warn-only`` reports without failing, the first
+landing's configuration.
+
+CLI::
+
+    python -m repro.obs.sentry --bench BENCH_compression.json --smoke
+    python -m repro.obs.sentry --bench BENCH_compression.json \
+        --current fresh.json --out sentry_verdict.json --warn-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.profiling.perfbench import (
+    PerfRecord,
+    SMOKE_SHAPES,
+    load_bench,
+    load_trajectory,
+    run_suite,
+)
+
+__all__ = [
+    "VERDICT_SCHEMA_VERSION",
+    "KernelVerdict",
+    "SentryVerdict",
+    "normalization_factor",
+    "evaluate",
+    "main",
+]
+
+VERDICT_SCHEMA_VERSION = 1
+
+#: scale factor turning a median absolute deviation into a robust sigma
+#: (exact for Gaussian noise)
+MAD_SIGMA = 1.4826
+
+
+def _key(record: PerfRecord) -> tuple[str, str, str]:
+    return (record.codec, record.op, record.shape_name)
+
+
+@dataclass(frozen=True)
+class KernelVerdict:
+    """One kernel's position against its history band."""
+
+    codec: str
+    op: str
+    shape_name: str
+    status: str  # "ok" | "regression" | "improvement" | "insufficient"
+    throughput_mb_s: float
+    baseline_mb_s: float | None = None
+    band_low_mb_s: float | None = None
+    band_high_mb_s: float | None = None
+    history_points: int = 0
+
+    def to_json_dict(self) -> dict:
+        out = {
+            "codec": self.codec,
+            "op": self.op,
+            "shape": self.shape_name,
+            "status": self.status,
+            "throughput_mb_s": self.throughput_mb_s,
+            "history_points": self.history_points,
+        }
+        if self.baseline_mb_s is not None:
+            out["baseline_mb_s"] = self.baseline_mb_s
+            out["band_low_mb_s"] = self.band_low_mb_s
+            out["band_high_mb_s"] = self.band_high_mb_s
+        return out
+
+
+@dataclass(frozen=True)
+class SentryVerdict:
+    """The whole run's verdict: fails only on in-band history breaches."""
+
+    kernels: tuple[KernelVerdict, ...]
+    warn_only: bool = False
+
+    def _with(self, status: str) -> list[KernelVerdict]:
+        return [k for k in self.kernels if k.status == status]
+
+    @property
+    def regressions(self) -> list[KernelVerdict]:
+        return self._with("regression")
+
+    @property
+    def improvements(self) -> list[KernelVerdict]:
+        return self._with("improvement")
+
+    @property
+    def insufficient(self) -> list[KernelVerdict]:
+        return self._with("insufficient")
+
+    @property
+    def passed(self) -> bool:
+        return self.warn_only or not self.regressions
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": VERDICT_SCHEMA_VERSION,
+            "status": "pass" if self.passed else "fail",
+            "warn_only": self.warn_only,
+            "checked": sum(
+                1 for k in self.kernels if k.status != "insufficient"
+            ),
+            "regressions": [k.to_json_dict() for k in self.regressions],
+            "improvements": [k.to_json_dict() for k in self.improvements],
+            "insufficient": [k.to_json_dict() for k in self.insufficient],
+        }
+
+    def summary(self) -> str:
+        counts = {
+            status: len(self._with(status))
+            for status in ("ok", "regression", "improvement", "insufficient")
+        }
+        head = "sentry PASS" if self.passed else "sentry FAIL"
+        if self.warn_only and self._with("regression"):
+            head = "sentry WARN (warn-only)"
+        body = ", ".join(f"{n} {status}" for status, n in counts.items() if n)
+        lines = [f"{head}: {body or 'no kernels'}"]
+        for k in self.regressions + self.improvements:
+            lines.append(
+                f"  {k.status}: {k.codec}.{k.op} [{k.shape_name}] "
+                f"{k.throughput_mb_s:.1f} MB/s vs band "
+                f"[{k.band_low_mb_s:.1f}, {k.band_high_mb_s:.1f}] "
+                f"(median {k.baseline_mb_s:.1f}, {k.history_points} points)"
+            )
+        return "\n".join(lines)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def normalization_factor(
+    run: Sequence[PerfRecord], current: Sequence[PerfRecord]
+) -> float:
+    """Predicted current-machine over run-machine speed: the median ratio
+    of the run's frozen-reference wall times to the current run's, over
+    the kernels both sides timed.  Multiplying the run's throughputs by
+    this maps them onto the current machine; 1.0 when no common
+    references exist (same-machine assumption)."""
+    current_by_key = {_key(r): r for r in current}
+    ratios = [
+        record.reference_seconds / base.reference_seconds
+        for record in run
+        if record.reference_seconds
+        if (base := current_by_key.get(_key(record))) is not None
+        if base.reference_seconds
+    ]
+    return _median(ratios) if ratios else 1.0
+
+
+def evaluate(
+    history: Sequence[Sequence[PerfRecord]],
+    current: Sequence[PerfRecord],
+    *,
+    min_points: int = 3,
+    mad_k: float = 4.0,
+    width_floor: float = 0.3,
+    warn_only: bool = False,
+) -> SentryVerdict:
+    """Judge ``current`` against the per-kernel history bands.
+
+    ``history`` is the trajectory's runs, oldest first (the current run,
+    if it is the trajectory's own tail, must not be included — pass
+    ``trajectory[:-1]`` and ``trajectory[-1]``).
+    """
+    if min_points < 2:
+        raise ValueError(f"min_points must be >= 2, got {min_points}")
+    points: dict[tuple[str, str, str], list[float]] = {}
+    for run in history:
+        factor = normalization_factor(run, current)
+        for record in run:
+            points.setdefault(_key(record), []).append(
+                record.throughput_mb_s * factor
+            )
+    kernels = []
+    for record in current:
+        normalized = points.get(_key(record), [])
+        if len(normalized) < min_points:
+            kernels.append(
+                KernelVerdict(
+                    codec=record.codec,
+                    op=record.op,
+                    shape_name=record.shape_name,
+                    status="insufficient",
+                    throughput_mb_s=record.throughput_mb_s,
+                    history_points=len(normalized),
+                )
+            )
+            continue
+        center = _median(normalized)
+        sigma = MAD_SIGMA * _median([abs(p - center) for p in normalized])
+        width = max(mad_k * sigma, width_floor * center)
+        low, high = center - width, center + width
+        if record.throughput_mb_s < low:
+            status = "regression"
+        elif record.throughput_mb_s > high:
+            status = "improvement"
+        else:
+            status = "ok"
+        kernels.append(
+            KernelVerdict(
+                codec=record.codec,
+                op=record.op,
+                shape_name=record.shape_name,
+                status=status,
+                throughput_mb_s=record.throughput_mb_s,
+                baseline_mb_s=center,
+                band_low_mb_s=low,
+                band_high_mb_s=high,
+                history_points=len(normalized),
+            )
+        )
+    return SentryVerdict(kernels=tuple(kernels), warn_only=warn_only)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", type=Path, required=True,
+        help="committed trajectory JSON (v2; a v1 file is one point)",
+    )
+    parser.add_argument(
+        "--current", type=Path, default=None,
+        help="bench JSON of the run under judgment (default: measure now)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the verdict JSON here"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="when measuring, use the small CI shape set",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--min-points", type=int, default=3)
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions without failing the gate",
+    )
+    args = parser.parse_args(argv)
+    history = load_trajectory(args.bench)
+    if args.current is not None:
+        current = load_bench(args.current)
+    else:
+        current = run_suite(
+            SMOKE_SHAPES if args.smoke else None, repeats=args.repeats
+        )
+    verdict = evaluate(
+        history,
+        current,
+        min_points=args.min_points,
+        warn_only=args.warn_only,
+    )
+    print(verdict.summary())
+    if args.out is not None:
+        args.out.write_text(json.dumps(verdict.to_json_dict(), indent=2) + "\n")
+        print(f"[verdict written to {args.out}]")
+    return 0 if verdict.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,12 +84,21 @@ __all__ = [
     "run_suite",
     "write_bench",
     "load_bench",
+    "load_trajectory",
+    "write_trajectory",
+    "append_run",
     "compare_to_baseline",
     "format_table",
     "main",
 ]
 
 SCHEMA_VERSION = 1
+
+#: trajectory files: ``{"schema_version": 2, "runs": [run, run, ...]}``
+#: where each run is a v1 payload minus its own ``schema_version`` —
+#: one entry per landed PR, oldest first, so the perf-regression sentry
+#: has a per-kernel history to fit robust baselines over
+TRAJECTORY_SCHEMA_VERSION = 2
 
 #: evaluation geometry: (batch rows, embedding dim) per the paper's setups
 #: (Criteo-Kaggle batch 128, Terabyte batch 2048, Fig.-12 cluster dim 64)
@@ -512,6 +521,33 @@ def run_suite(
             _count_hop,
             interleave=True,
         )
+
+    # --- critical-path analyzer: dependency-DAG reconstruction plus the
+    # walk-back over a chunk-pipelined exchange timeline — the
+    # repro.obs.critpath hot path the obs-smoke job runs over the
+    # day-in-the-life trace.  One row regardless of the shape sweep; the
+    # rows/dim columns carry the fabric (8 ranks x 4 chunks) and
+    # input_nbytes the chrome-trace JSON the analyzer would otherwise be
+    # fed from disk. ---
+    from repro.dist.simulator import ClusterSimulator
+    from repro.obs.critpath import extract_critical_path
+
+    dag_ranks, dag_chunks = 8, 4
+    dag_sim = ClusterSimulator(dag_ranks)
+    dag_bufs = [[b"x" * 4096] * dag_ranks for _ in range(dag_ranks)]
+    for _ in range(3):
+        dag_sim.comm.compressed_all_to_all(
+            dag_bufs,
+            overlap=True,
+            compress_seconds=[2e-3 + 1e-4 * r for r in range(dag_ranks)],
+            decompress_seconds=[1e-3 + 5e-5 * r for r in range(dag_ranks)],
+            chunks_per_rank=dag_chunks,
+        )
+    trace_nbytes = len(json.dumps(dag_sim.timeline.to_chrome_trace()))
+    add(
+        "critpath", "extract", "fabric8x4", dag_ranks, dag_chunks, trace_nbytes,
+        lambda: extract_critical_path(dag_sim.timeline),
+    )
     return records
 
 
@@ -532,14 +568,91 @@ def write_bench(records: Iterable[PerfRecord], path: str | Path) -> Path:
     return path
 
 
+def _run_records(run: dict) -> list[PerfRecord]:
+    return [PerfRecord(**r) for r in run["records"]]
+
+
 def load_bench(path: str | Path) -> list[PerfRecord]:
-    """Read records written by :func:`write_bench`."""
+    """Read records written by :func:`write_bench`.
+
+    Accepts both the flat v1 payload and a v2 trajectory (in which case
+    the *latest* run's records are returned — the committed baseline the
+    ``--check`` gate compares against).
+    """
     payload = json.loads(Path(path).read_text())
-    if payload.get("schema_version") != SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported bench schema {payload.get('schema_version')!r} in {path}"
+    version = payload.get("schema_version")
+    if version == SCHEMA_VERSION:
+        return _run_records(payload)
+    if version == TRAJECTORY_SCHEMA_VERSION:
+        runs = payload.get("runs") or []
+        if not runs:
+            raise ValueError(f"trajectory {path} has no runs")
+        return _run_records(runs[-1])
+    raise ValueError(f"unsupported bench schema {version!r} in {path}")
+
+
+def load_trajectory(path: str | Path) -> list[list[PerfRecord]]:
+    """All runs in a bench file, oldest first.
+
+    A v1 payload is a trajectory of one run, so callers (the sentry) can
+    consume either format.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version == SCHEMA_VERSION:
+        return [_run_records(payload)]
+    if version == TRAJECTORY_SCHEMA_VERSION:
+        return [_run_records(run) for run in payload.get("runs") or []]
+    raise ValueError(f"unsupported bench schema {version!r} in {path}")
+
+
+def _run_payload(records: Iterable[PerfRecord]) -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "records": [asdict(r) for r in records],
+    }
+
+
+def write_trajectory(
+    runs: Sequence[Sequence[PerfRecord]], path: str | Path
+) -> Path:
+    """Persist a v2 trajectory (one environment stanza per run; the runs
+    passed in are stamped with the *current* environment — use
+    :func:`append_run` to extend a file that keeps its history's stanzas)."""
+    path = Path(path)
+    payload = {
+        "schema_version": TRAJECTORY_SCHEMA_VERSION,
+        "runs": [_run_payload(run) for run in runs],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def append_run(records: Iterable[PerfRecord], path: str | Path) -> Path:
+    """Append one run to a trajectory file, migrating a v1 payload (its
+    environment stanza preserved) or starting a fresh trajectory if the
+    file does not exist."""
+    path = Path(path)
+    runs: list[dict] = []
+    if path.exists():
+        payload = json.loads(path.read_text())
+        version = payload.get("schema_version")
+        if version == SCHEMA_VERSION:
+            runs = [{k: v for k, v in payload.items() if k != "schema_version"}]
+        elif version == TRAJECTORY_SCHEMA_VERSION:
+            runs = list(payload.get("runs") or [])
+        else:
+            raise ValueError(f"unsupported bench schema {version!r} in {path}")
+    runs.append(_run_payload(records))
+    path.write_text(
+        json.dumps(
+            {"schema_version": TRAJECTORY_SCHEMA_VERSION, "runs": runs}, indent=2
         )
-    return [PerfRecord(**r) for r in payload["records"]]
+        + "\n"
+    )
+    return path
 
 
 def compare_to_baseline(
@@ -626,6 +739,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=None, help="write BENCH JSON here")
     parser.add_argument(
+        "--append", type=Path, default=None,
+        help="append this run to a v2 trajectory JSON (migrating v1 in place)",
+    )
+    parser.add_argument(
         "--check", type=Path, default=None, help="compare against a committed BENCH JSON"
     )
     parser.add_argument(
@@ -643,6 +760,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         write_bench(records, args.out)
         print(f"[written to {args.out}]")
+    if args.append is not None:
+        append_run(records, args.append)
+        print(f"[appended to {args.append}]")
     if args.check is not None:
         failures = compare_to_baseline(
             records, load_bench(args.check), max_regression=args.regression_factor

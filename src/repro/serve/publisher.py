@@ -481,6 +481,8 @@ class DeltaPublisher:
         if not OBS.enabled:
             return
         reg = OBS.registry
+        if OBS.slo_hub is not None:
+            OBS.slo_hub.feed("publish_staleness", end, self.staleness())
         mode = "compressed" if report.compressed else "raw"
         reg.counter("publish_rounds_total", "delta publication rounds").inc(1, mode=mode)
         reg.counter(

@@ -542,6 +542,8 @@ class ServingSimulator:
                 )
             if obs_on:
                 reg = OBS.registry
+                if OBS.slo_hub is not None:
+                    OBS.slo_hub.feed("serve_latency", completion, latency)
                 reg.counter("serve_requests_total", "requests served").inc()
                 reg.histogram(
                     "serve_latency_seconds", "request latency (arrival to completion)"

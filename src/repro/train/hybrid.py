@@ -594,6 +594,8 @@ class HybridParallelTrainer:
         window.events = timeline.events[events_before:]
         efficiency = overlap_efficiency(window)
         reg = OBS.registry
+        if OBS.slo_hub is not None:
+            OBS.slo_hub.feed("train_step", step_end, step_end - step_start)
         reg.histogram(
             "train_step_seconds", "simulated wall time per iteration"
         ).observe(step_end - step_start)

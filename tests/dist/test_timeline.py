@@ -110,12 +110,14 @@ class TestChromeTrace:
         xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
         assert len(xs) == 3
         for e in xs:
-            assert set(e) == {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert set(e) == {"name", "cat", "ph", "pid", "tid", "ts", "dur", "rank", "stream"}
             assert isinstance(e["name"], str)
             assert e["pid"] == 0
             assert isinstance(e["tid"], int)
             assert isinstance(e["ts"], float) and e["ts"] >= 0.0
             assert isinstance(e["dur"], float) and e["dur"] >= 0.0
+            assert isinstance(e["rank"], int)
+            assert isinstance(e["stream"], str)
 
     def test_microsecond_conversion_and_lane_mapping(self):
         trace = self._ledger().to_chrome_trace()
@@ -310,4 +312,77 @@ class TestChunkTraceSchema:
         tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
         trace = tl.to_chrome_trace()
         xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
-        assert set(xs[0]) == {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+        assert set(xs[0]) == {"name", "cat", "ph", "pid", "tid", "ts", "dur", "rank", "stream"}
+
+
+class TestReleaseEdges:
+    """Dependency edges on the ledger: validation, communicator
+    population, and the chrome-trace round-trip the critical-path
+    analyzer's offline mode relies on."""
+
+    def test_edges_must_point_backwards(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        e = tl.record(0, EventCategory.ALLTOALL_FWD, 1.0, 1.0, release_edges=[0])
+        assert e.release_edges == (0,)
+        with pytest.raises(ValueError):
+            tl.record(0, EventCategory.DECOMPRESS, 2.0, 1.0, release_edges=[5])
+        with pytest.raises(ValueError):
+            tl.record(0, EventCategory.DECOMPRESS, 2.0, 1.0, release_edges=[-1])
+
+    def test_edges_deduplicate_and_empty_collapses_to_none(self):
+        tl = Timeline()
+        tl.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        e = tl.record(0, EventCategory.ALLTOALL_FWD, 1.0, 1.0, release_edges=[0, 0])
+        assert e.release_edges == (0,)
+        plain = tl.record(0, EventCategory.DECOMPRESS, 2.0, 1.0, release_edges=[])
+        assert plain.release_edges is None
+
+    def _overlapped_sim(self):
+        from repro.dist import ClusterSimulator
+
+        sim = ClusterSimulator(2)
+        sim.comm.compressed_all_to_all(
+            [[b"x" * 1000] * 2] * 2,
+            overlap=True,
+            compress_seconds=[2e-4, 1e-4],
+            decompress_seconds=[1e-4, 1e-4],
+            chunks_per_rank=[3, 3],
+        )
+        return sim
+
+    def test_communicator_populates_edges(self):
+        sim = self._overlapped_sim()
+        with_edges = [e for e in sim.timeline.events if e.release_edges]
+        assert with_edges, "overlapped exchange must record release edges"
+        for i, e in enumerate(sim.timeline.events):
+            for dep in e.release_edges or ():
+                assert 0 <= dep < i  # strictly backwards
+                # A releaser finishes before (or exactly when) its
+                # dependent starts.
+                assert sim.timeline.events[dep].end <= e.start + 1e-12
+
+    def test_edges_survive_the_chrome_trace_round_trip(self):
+        sim = self._overlapped_sim()
+        trace = sim.timeline.to_chrome_trace()
+        rebuilt = Timeline.from_chrome_trace(trace)
+        assert len(rebuilt.events) == len(sim.timeline.events)
+        for original, back in zip(sim.timeline.events, rebuilt.events):
+            assert back.rank == original.rank
+            assert back.category == original.category
+            assert back.stream == original.stream
+            assert back.release_edges == original.release_edges
+            assert back.start == pytest.approx(original.start, abs=1e-9)
+            assert back.duration == pytest.approx(original.duration, abs=1e-9)
+
+    def test_trace_entry_schema_with_edges(self):
+        sim = self._overlapped_sim()
+        trace = sim.timeline.to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        flagged = [e for e in xs if "release_edges" in e]
+        assert flagged
+        for entry in flagged:
+            assert isinstance(entry["release_edges"], list)
+            assert all(isinstance(i, int) for i in entry["release_edges"])
+        # Events without edges keep the plain schema (no null member).
+        assert any("release_edges" not in e for e in xs)

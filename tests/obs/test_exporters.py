@@ -17,7 +17,9 @@ from hypothesis import strategies as st
 
 from repro.obs.exporters import (
     SNAPSHOT_SCHEMA_ID,
+    SNAPSHOT_SCHEMA_V1,
     from_prometheus,
+    reports_from_json,
     run_report,
     snapshot_from_json,
     snapshot_to_json,
@@ -98,6 +100,51 @@ class TestPrometheusRoundTrip:
         snap = reg.snapshot()
         assert from_prometheus(to_prometheus(snap)) == snap.scrub_exact()
 
+    def test_empty_label_set_round_trips(self):
+        """A labelless series renders without braces and must come back
+        as the empty label key, for every metric kind."""
+        reg = MetricsRegistry()
+        reg.counter("bare_total").inc(7)
+        reg.gauge("bare_gauge").set(2.5)
+        reg.histogram("bare_hist", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        text = to_prometheus(snap)
+        assert "bare_total 7" in text
+        assert "bare_total{" not in text
+        assert from_prometheus(text) == snap.scrub_exact()
+
+    @pytest.mark.parametrize("value", [
+        "",                      # empty label value
+        '"',                     # lone quote
+        "\\",                    # lone backslash
+        "\\\\",                  # double backslash
+        'tail\\',                # backslash at end
+        'a"b\\c\nd',             # all three escapables
+        "\n\n",                  # newlines only
+        "a,b}c{d",               # exposition syntax characters
+        'le="0.5"',              # looks like a label pair itself
+    ])
+    def test_adversarial_label_values_round_trip(self, value):
+        reg = MetricsRegistry()
+        reg.counter("edge_total").inc(3, key=value)
+        snap = reg.snapshot()
+        assert from_prometheus(to_prometheus(snap)) == snap.scrub_exact()
+
+    def test_adversarial_labels_on_histograms_round_trip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("edge_hist", bounds=(1.0, 10.0))
+        h.observe(0.5, path='a\\b "c"\nd')
+        h.observe(20.0, path='a\\b "c"\nd')
+        snap = reg.snapshot()
+        assert from_prometheus(to_prometheus(snap)) == snap.scrub_exact()
+
+    @given(st.text(max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_label_value_round_trip_property(self, value):
+        from repro.obs.exporters import _esc_label, _unesc_label
+
+        assert _unesc_label(_esc_label(value)) == value
+
     @given(registry_state)
     @settings(max_examples=40, deadline=None)
     def test_scrub_law_property(self, reg):
@@ -152,6 +199,146 @@ class TestSchemaValidation:
         assert "INVALID" in capsys.readouterr().err
 
 
+def _minimal_critical_path_block() -> dict:
+    return {
+        "train": {
+            "makespan": 1.5,
+            "attribution": [
+                {"rank": 0, "stream": "compute", "category": "compress", "seconds": 1.0},
+                {"rank": 1, "stream": "comm", "category": "alltoall_fwd", "seconds": 0.5},
+            ],
+            "steps": [
+                {
+                    "event_index": 0, "rank": 0, "stream": "compute",
+                    "category": "compress", "start": 0.0, "end": 1.0,
+                },
+                {
+                    "event_index": None, "rank": 1, "stream": "comm",
+                    "category": "idle", "start": 1.0, "end": 1.5,
+                },
+            ],
+        }
+    }
+
+
+def _minimal_slo_block() -> dict:
+    from repro.obs.slo import BurnRateMonitor, SloHub, SLOSpec
+
+    hub = SloHub(
+        [
+            BurnRateMonitor(
+                SLOSpec(
+                    name="serve_p99_latency", source="serve_latency",
+                    threshold=1.0, objective=1.0,
+                    fast_window=0.2, slow_window=1.0,
+                )
+            )
+        ]
+    )
+    hub.feed("serve_latency", 0.5, 2.0)  # zero-budget breach -> "inf" burns
+    return hub.to_json_dict()
+
+
+class TestSchemaV2Migration:
+    """v2 = v1 families + an optional ``reports`` block; both versions
+    must keep parsing and validating."""
+
+    def test_v1_document_still_parses(self):
+        snap = populated_registry().snapshot()
+        doc = json.loads(snapshot_to_json(snap))
+        doc["schema"] = SNAPSHOT_SCHEMA_V1
+        assert snapshot_from_json(json.dumps(doc)) == snap
+
+    def test_v1_document_still_validates(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        doc["schema"] = SNAPSHOT_SCHEMA_V1
+        validate_snapshot_json(json.dumps(doc))
+
+    def test_reports_block_requires_v2(self):
+        doc = json.loads(
+            snapshot_to_json(
+                populated_registry().snapshot(),
+                reports={"critical_path": _minimal_critical_path_block()},
+            )
+        )
+        doc["schema"] = SNAPSHOT_SCHEMA_V1
+        with pytest.raises(SnapshotSchemaError, match="reports"):
+            validate_snapshot_json(json.dumps(doc))
+
+    def test_reports_from_json_on_v1_is_empty(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        doc["schema"] = SNAPSHOT_SCHEMA_V1
+        assert reports_from_json(json.dumps(doc)) == {}
+
+    def test_reports_from_json_on_v2_without_block_is_empty(self):
+        assert reports_from_json(
+            snapshot_to_json(populated_registry().snapshot())
+        ) == {}
+
+    def test_reports_round_trip(self):
+        reports = {
+            "critical_path": _minimal_critical_path_block(),
+            "slo": _minimal_slo_block(),
+        }
+        text = snapshot_to_json(populated_registry().snapshot(), reports=reports)
+        validate_snapshot_json(text)
+        assert reports_from_json(text) == reports
+        # The families parse is unaffected by the extra block.
+        assert (
+            snapshot_from_json(text) == populated_registry().snapshot()
+        )
+
+    def test_inf_burn_rates_validate(self):
+        block = _minimal_slo_block()
+        (mon,) = block["monitors"]
+        assert mon["fast_burn_rate"] == "inf"
+        text = snapshot_to_json(
+            populated_registry().snapshot(), reports={"slo": block}
+        )
+        validate_snapshot_json(text)
+
+    def test_unknown_report_block_rejected(self):
+        text = snapshot_to_json(
+            populated_registry().snapshot(), reports={"mystery": {}}
+        )
+        with pytest.raises(SnapshotSchemaError, match="unknown report"):
+            validate_snapshot_json(text)
+
+    def test_conservation_violation_rejected(self):
+        block = _minimal_critical_path_block()
+        block["train"]["attribution"][0]["seconds"] = 0.25  # sums to 0.75 != 1.5
+        text = snapshot_to_json(
+            populated_registry().snapshot(), reports={"critical_path": block}
+        )
+        with pytest.raises(SnapshotSchemaError, match="sum to the makespan"):
+            validate_snapshot_json(text)
+
+    def test_step_with_start_after_end_rejected(self):
+        block = _minimal_critical_path_block()
+        block["train"]["steps"][0]["end"] = -1.0
+        text = snapshot_to_json(
+            populated_registry().snapshot(), reports={"critical_path": block}
+        )
+        with pytest.raises(SnapshotSchemaError, match="start must not exceed"):
+            validate_snapshot_json(text)
+
+    def test_scenario_metrics_json_validates_end_to_end(self, tmp_path):
+        """The exact artifact CI validates: a day-in-the-life metrics.json
+        with live critical-path and SLO blocks."""
+        from repro.obs import run_day_in_the_life
+        from repro.obs.schema import main as schema_main
+
+        result = run_day_in_the_life(
+            n_iterations=1, n_requests=20, out_dir=tmp_path
+        )
+        assert schema_main([str(result.paths["metrics.json"])]) == 0
+        reports = reports_from_json(result.paths["metrics.json"].read_text())
+        assert set(reports) == {"critical_path", "slo"}
+        assert {m["name"] for m in reports["slo"]["monitors"]} == {
+            "serve_p99_latency", "publish_staleness", "train_step_time"
+        }
+
+
 class TestRunReport:
     def test_report_renders_all_kinds(self):
         report = run_report(populated_registry(), title="My run")
@@ -172,3 +359,44 @@ class TestRunReport:
         )
         assert "train time breakdown" in report
         assert "Embedding lookup" in report
+
+    def test_report_renders_critical_path_section(self):
+        from repro.dist.timeline import EventCategory, Timeline
+        from repro.obs.critpath import extract_critical_path
+
+        timeline = Timeline()
+        timeline.record(0, EventCategory.COMPRESS, 0.0, 1.0)
+        timeline.record(0, EventCategory.ALLTOALL_FWD, 1.0, 0.5)
+        result = extract_critical_path(timeline)
+        report = run_report(
+            populated_registry(),
+            critical_paths={"train": result},
+            title="Run",
+        )
+        assert "train critical path" in report
+        assert "makespan 1.500000s" in report
+
+    def test_report_renders_slo_section_from_hub_or_states(self):
+        from repro.obs.slo import BurnRateMonitor, SloHub, SLOSpec
+
+        hub = SloHub(
+            [
+                BurnRateMonitor(
+                    SLOSpec(
+                        name="serve_p99_latency", source="serve_latency",
+                        threshold=1.0, objective=1.0,
+                        fast_window=0.2, slow_window=1.0,
+                        fast_burn=1.0, slow_burn=1.0,
+                    )
+                )
+            ]
+        )
+        hub.feed("serve_latency", 0.5, 2.0)
+        via_hub = run_report(populated_registry(), slo=hub, title="Run")
+        assert "SLO burn rates" in via_hub
+        assert "serve_p99_latency" in via_hub
+        assert "FIRING" in via_hub
+        via_states = run_report(
+            populated_registry(), slo=hub.states(), title="Run"
+        )
+        assert "SLO burn rates" in via_states

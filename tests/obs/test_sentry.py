@@ -1,0 +1,248 @@
+"""Perf-regression sentry: robust bands, machine normalization, CLI.
+
+The statistics under test: per-kernel median ± max(4·1.4826·MAD,
+0.3·median) bands over the normalized trajectory history, with
+``insufficient`` (never-failing) verdicts below ``min_points``, and the
+frozen-reference machine normalization that makes a uniformly slower
+machine judge identically to the one that wrote the history.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.sentry import (
+    KernelVerdict,
+    SentryVerdict,
+    evaluate,
+    main,
+    normalization_factor,
+)
+from repro.profiling.perfbench import PerfRecord, write_bench, write_trajectory
+
+NBYTES = 1_000_000
+
+
+def _record(
+    codec="huffman",
+    op="decode",
+    shape="terabyte",
+    mbps=100.0,
+    machine_scale=1.0,
+):
+    """One kernel record as measured on a machine ``machine_scale`` times
+    slower than the reference box (throughput drops, reference wall time
+    grows, by the same factor)."""
+    seconds = NBYTES / (mbps * 1e6) * machine_scale
+    return PerfRecord(
+        codec=codec,
+        op=op,
+        shape_name=shape,
+        rows=2048,
+        dim=32,
+        input_nbytes=NBYTES,
+        seconds=seconds,
+        throughput_mb_s=mbps / machine_scale,
+        reference_seconds=0.01 * machine_scale,
+        speedup=None,
+    )
+
+
+def _history(mbps_points, **kwargs):
+    return [[_record(mbps=m, **kwargs)] for m in mbps_points]
+
+
+class TestEvaluate:
+    def test_in_band_is_ok(self):
+        verdict = evaluate(_history([100, 102, 98]), [_record(mbps=100)])
+        (kernel,) = verdict.kernels
+        assert kernel.status == "ok"
+        assert verdict.passed
+        # width floor: max(4*1.4826*MAD(~2), 0.3*100) = 30
+        assert kernel.band_low_mb_s == pytest.approx(70.0)
+        assert kernel.band_high_mb_s == pytest.approx(130.0)
+
+    def test_below_band_is_regression(self):
+        verdict = evaluate(_history([100, 102, 98]), [_record(mbps=50)])
+        (kernel,) = verdict.kernels
+        assert kernel.status == "regression"
+        assert not verdict.passed
+        assert verdict.regressions == [kernel]
+
+    def test_above_band_is_improvement_and_passes(self):
+        verdict = evaluate(_history([100, 102, 98]), [_record(mbps=200)])
+        (kernel,) = verdict.kernels
+        assert kernel.status == "improvement"
+        assert verdict.passed
+        assert verdict.improvements == [kernel]
+
+    def test_noisy_history_widens_the_band(self):
+        # MAD over {60, 80, 100, 120, 140} is 20 -> sigma 29.65 -> width
+        # 118.6 beats the 30 floor; 50 MB/s sits inside [-18.6, 218.6].
+        verdict = evaluate(
+            _history([60, 80, 100, 120, 140]), [_record(mbps=50)]
+        )
+        assert verdict.kernels[0].status == "ok"
+
+    def test_short_history_is_insufficient_and_never_fails(self):
+        verdict = evaluate(_history([100, 100]), [_record(mbps=1.0)])
+        (kernel,) = verdict.kernels
+        assert kernel.status == "insufficient"
+        assert kernel.history_points == 2
+        assert kernel.baseline_mb_s is None
+        assert verdict.passed
+
+    def test_unknown_kernel_is_insufficient_with_zero_points(self):
+        verdict = evaluate(
+            _history([100, 100, 100]), [_record(codec="brandnew", mbps=1.0)]
+        )
+        assert verdict.kernels[0].status == "insufficient"
+        assert verdict.kernels[0].history_points == 0
+
+    def test_min_points_guard(self):
+        with pytest.raises(ValueError):
+            evaluate([], [_record()], min_points=1)
+
+    def test_warn_only_passes_with_regressions(self):
+        verdict = evaluate(
+            _history([100, 102, 98]), [_record(mbps=50)], warn_only=True
+        )
+        assert verdict.regressions
+        assert verdict.passed
+        assert verdict.to_json_dict()["status"] == "pass"
+        assert "WARN" in verdict.summary()
+
+
+class TestNormalization:
+    def test_factor_is_reference_time_ratio(self):
+        slow_run = [_record(machine_scale=3.0)]
+        current = [_record()]
+        assert normalization_factor(slow_run, current) == pytest.approx(3.0)
+
+    def test_factor_defaults_to_one_without_common_references(self):
+        no_ref = [
+            PerfRecord(
+                codec="x", op="y", shape_name="z", rows=1, dim=1,
+                input_nbytes=1, seconds=1.0, throughput_mb_s=1.0,
+            )
+        ]
+        assert normalization_factor(no_ref, [_record()]) == 1.0
+
+    def test_slower_history_machine_judges_identically(self):
+        """History written on a 3x slower box: normalization maps its
+        throughputs onto the current machine, so the same relative
+        verdicts come out."""
+        slow_history = _history([100, 102, 98], machine_scale=3.0)
+        assert evaluate(slow_history, [_record(mbps=100)]).kernels[0].status == "ok"
+        assert (
+            evaluate(slow_history, [_record(mbps=50)]).kernels[0].status
+            == "regression"
+        )
+
+    def test_uniform_scaling_invariance(self):
+        """Scaling one history run's wall times AND reference times by the
+        same factor changes nothing — pure machine speed, not code."""
+        base = evaluate(_history([100, 102, 98]), [_record(mbps=60)])
+        scaled_history = [
+            [_record(mbps=100, machine_scale=5.0)],
+            [_record(mbps=102)],
+            [_record(mbps=98)],
+        ]
+        scaled = evaluate(scaled_history, [_record(mbps=60)])
+        assert scaled.kernels[0].status == base.kernels[0].status
+        assert scaled.kernels[0].baseline_mb_s == pytest.approx(
+            base.kernels[0].baseline_mb_s
+        )
+
+
+class TestVerdictShapes:
+    def test_json_dict_schema(self):
+        verdict = evaluate(
+            _history([100, 102, 98]),
+            [_record(mbps=50), _record(op="encode", mbps=1.0)],
+        )
+        doc = verdict.to_json_dict()
+        assert doc["schema_version"] == 1
+        assert doc["status"] == "fail"
+        assert doc["warn_only"] is False
+        assert doc["checked"] == 1  # the insufficient kernel is not checked
+        assert len(doc["regressions"]) == 1
+        assert len(doc["insufficient"]) == 1
+        reg = doc["regressions"][0]
+        assert {
+            "codec", "op", "shape", "status", "throughput_mb_s",
+            "history_points", "baseline_mb_s", "band_low_mb_s",
+            "band_high_mb_s",
+        } <= set(reg)
+
+    def test_summary_lines(self):
+        ok = evaluate(_history([100, 102, 98]), [_record(mbps=100)])
+        assert ok.summary().startswith("sentry PASS")
+        bad = evaluate(_history([100, 102, 98]), [_record(mbps=50)])
+        assert bad.summary().startswith("sentry FAIL")
+        assert "huffman.decode" in bad.summary()
+
+    def test_kernel_verdict_json_omits_band_when_insufficient(self):
+        kernel = KernelVerdict(
+            codec="a", op="b", shape_name="c", status="insufficient",
+            throughput_mb_s=1.0,
+        )
+        assert "baseline_mb_s" not in kernel.to_json_dict()
+
+    def test_empty_verdict_passes(self):
+        verdict = SentryVerdict(kernels=())
+        assert verdict.passed
+        assert "no kernels" in verdict.summary()
+
+
+class TestCli:
+    def _files(self, tmp_path, current_mbps):
+        bench = tmp_path / "bench.json"
+        write_trajectory([run for run in _history([100, 102, 98])], bench)
+        current = tmp_path / "current.json"
+        write_bench([_record(mbps=current_mbps)], current)
+        return bench, current
+
+    def test_pass_run_writes_verdict(self, tmp_path, capsys):
+        bench, current = self._files(tmp_path, 100)
+        out = tmp_path / "verdict.json"
+        code = main(
+            ["--bench", str(bench), "--current", str(current), "--out", str(out)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["status"] == "pass"
+        assert "sentry PASS" in capsys.readouterr().out
+
+    def test_regression_fails_the_gate(self, tmp_path, capsys):
+        bench, current = self._files(tmp_path, 50)
+        code = main(["--bench", str(bench), "--current", str(current)])
+        assert code == 1
+        assert "sentry FAIL" in capsys.readouterr().out
+
+    def test_warn_only_reports_but_passes(self, tmp_path, capsys):
+        bench, current = self._files(tmp_path, 50)
+        out = tmp_path / "verdict.json"
+        code = main(
+            [
+                "--bench", str(bench), "--current", str(current),
+                "--warn-only", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["status"] == "pass"
+        assert doc["warn_only"] is True
+        assert doc["regressions"]
+        assert "WARN" in capsys.readouterr().out
+
+    def test_v1_bench_is_a_one_point_trajectory(self, tmp_path):
+        bench = tmp_path / "v1.json"
+        write_bench([_record(mbps=100)], bench)
+        current = tmp_path / "current.json"
+        write_bench([_record(mbps=1.0)], current)
+        # One history point < min_points: insufficient, so the gate passes.
+        code = main(["--bench", str(bench), "--current", str(current)])
+        assert code == 0

@@ -10,12 +10,15 @@ import pytest
 from repro.profiling.perfbench import (
     PAPER_SHAPES,
     PerfRecord,
+    append_run,
     compare_to_baseline,
     format_table,
     load_bench,
+    load_trajectory,
     make_lookup_batch,
     run_suite,
     write_bench,
+    write_trajectory,
 )
 
 TINY = {"tiny": (32, 8)}
@@ -59,8 +62,24 @@ class TestRunSuite:
         for record in tiny_records:
             assert record.seconds > 0
             assert record.throughput_mb_s > 0
+        # Every shape-swept kernel carries the requested geometry; the
+        # one fabric-level row (critpath) carries its own.
+        for record in tiny_records:
+            if record.codec == "critpath":
+                continue
             assert record.shape_name == "tiny"
             assert record.input_nbytes == 32 * 8 * 4
+
+    def test_critpath_row_present_once(self, tiny_records):
+        """The DAG-extraction row rides along regardless of the shape
+        sweep — the perfbench 'critpath' satellite."""
+        rows = [r for r in tiny_records if r.codec == "critpath"]
+        assert len(rows) == 1
+        (row,) = rows
+        assert row.op == "extract"
+        assert row.shape_name == "fabric8x4"
+        assert row.rows == 8 and row.dim == 4  # ranks x chunks
+        assert row.input_nbytes > 0  # the chrome-trace JSON payload size
 
     def test_reference_ops_carry_speedup(self, tiny_records):
         with_ref = [r for r in tiny_records if r.reference_seconds is not None]
@@ -97,6 +116,91 @@ class TestPersistence:
         path.write_text(json.dumps({"schema_version": 99, "records": []}))
         with pytest.raises(ValueError, match="schema"):
             load_bench(path)
+        with pytest.raises(ValueError, match="schema"):
+            load_trajectory(path)
+
+
+class TestTrajectory:
+    """v2 trajectory files: one run per landed change, oldest first."""
+
+    def _runs(self, tiny_records):
+        from dataclasses import replace
+
+        older = [
+            replace(r, throughput_mb_s=r.throughput_mb_s * 0.9)
+            for r in tiny_records
+        ]
+        return [older, list(tiny_records)]
+
+    def test_write_load_round_trip(self, tiny_records, tmp_path):
+        runs = self._runs(tiny_records)
+        path = write_trajectory(runs, tmp_path / "traj.json")
+        loaded = load_trajectory(path)
+        assert loaded == runs
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 2
+        assert all("python" in run for run in payload["runs"])
+
+    def test_load_bench_on_trajectory_returns_latest_run(self, tiny_records, tmp_path):
+        runs = self._runs(tiny_records)
+        path = write_trajectory(runs, tmp_path / "traj.json")
+        assert load_bench(path) == runs[-1]
+
+    def test_load_bench_rejects_empty_trajectory(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema_version": 2, "runs": []}))
+        with pytest.raises(ValueError, match="no runs"):
+            load_bench(path)
+        assert load_trajectory(path) == []
+
+    def test_v1_file_is_a_one_run_trajectory(self, tiny_records, tmp_path):
+        path = write_bench(tiny_records, tmp_path / "v1.json")
+        assert load_trajectory(path) == [tiny_records]
+
+    def test_append_migrates_v1_in_place(self, tiny_records, tmp_path):
+        """The committed BENCH migration path: appending to a v1 file
+        turns it into a v2 trajectory whose first run keeps the original
+        records and environment stanza."""
+        path = write_bench(tiny_records, tmp_path / "bench.json")
+        v1_payload = json.loads(path.read_text())
+        append_run(tiny_records, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 2
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["records"] == v1_payload["records"]
+        assert payload["runs"][0]["python"] == v1_payload["python"]
+        assert load_bench(path) == tiny_records
+        assert load_trajectory(path) == [tiny_records, tiny_records]
+
+    def test_append_creates_fresh_trajectory(self, tiny_records, tmp_path):
+        path = append_run(tiny_records, tmp_path / "new.json")
+        assert load_trajectory(path) == [tiny_records]
+        assert json.loads(path.read_text())["schema_version"] == 2
+
+    def test_append_extends_v2(self, tiny_records, tmp_path):
+        path = tmp_path / "traj.json"
+        write_trajectory([tiny_records], path)
+        append_run(tiny_records, path)
+        append_run(tiny_records, path)
+        assert len(load_trajectory(path)) == 3
+
+    def test_append_rejects_unknown_schema(self, tiny_records, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 7}))
+        with pytest.raises(ValueError, match="schema"):
+            append_run(tiny_records, path)
+
+    def test_committed_bench_is_a_loadable_trajectory(self):
+        """The repo-root BENCH_compression.json is the sentry's history;
+        it must parse as a multi-run trajectory with a stable kernel set
+        in its latest run."""
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parents[2] / "BENCH_compression.json"
+        runs = load_trajectory(bench)
+        assert len(runs) >= 3  # enough history for the sentry's min_points
+        latest = {(r.codec, r.op, r.shape_name) for r in runs[-1]}
+        assert ("critpath", "extract", "fabric8x4") in latest
 
 
 def _record(codec="huffman", op="decode", shape="terabyte", mbps=100.0, speedup=None):
